@@ -1,0 +1,36 @@
+"""Figure 5 — negative-sampling strategy versus convergence and effectiveness.
+
+Paper shape: semi-hard negatives converge fastest and reach the best final
+prec@50; random is a little behind; hard and easy negatives train poorly.
+The scaled run trains one short-budget FCM per strategy and records the
+per-epoch validation prec@k curve.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_curves, paper_numbers, run_fig5
+
+STRATEGIES = ("semi-hard", "random", "easy", "hard")
+
+
+def test_fig5_negative_sampling_convergence(benchmark, bench_data, scale, record_result):
+    curves = benchmark.pedantic(
+        run_fig5,
+        args=(bench_data, scale),
+        kwargs={"strategies": STRATEGIES},
+        rounds=1,
+        iterations=1,
+    )
+
+    text = format_curves(curves, title="Figure 5 — prec@k per epoch by negative-sampling strategy (measured)")
+    paper_text = "\n".join(
+        f"paper: {name}: converges at epoch {paper_numbers.FIGURE5_CONVERGENCE_EPOCHS[name]}, "
+        f"final prec@50 ≈ {paper_numbers.FIGURE5_FINAL_PREC[name]:.3f}"
+        for name in STRATEGIES
+    )
+    record_result("fig5", text + "\n\n" + paper_text)
+
+    assert set(curves) == set(STRATEGIES)
+    for series in curves.values():
+        assert len(series) == scale.sweep_epochs
+        assert all(0.0 <= value <= 1.0 for value in series)

@@ -1,0 +1,27 @@
+"""Table I — statistical properties of the benchmark.
+
+Paper: 200 queries / 10,161 repository tables bucketed by the number of lines
+M (1, 2-4, 5-7, >7), with single-line charts the largest bucket.  The scaled
+benchmark keeps the same bucket structure and proportions.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, run_table1
+
+
+def test_table1_benchmark_statistics(benchmark, bench_data, record_result):
+    stats = benchmark.pedantic(run_table1, args=(bench_data,), rounds=1, iterations=1)
+
+    headers = ["set", "total", "1", "2-4", "5-7", ">7"]
+    rows = [
+        [name, stats[name]["total"], stats[name]["1"], stats[name]["2-4"],
+         stats[name]["5-7"], stats[name][">7"]]
+        for name in ("queries", "repository")
+    ]
+    record_result("table1", format_table(headers, rows, title="Table I — benchmark statistics (scaled)"))
+
+    assert stats["queries"]["total"] == len(bench_data.queries)
+    assert stats["repository"]["total"] == len(bench_data.repository)
+    bucket_sum = sum(v for k, v in stats["queries"].items() if k != "total")
+    assert bucket_sum == stats["queries"]["total"]

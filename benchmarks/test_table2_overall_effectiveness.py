@@ -1,0 +1,45 @@
+"""Table II — overall effectiveness, and the with/without-aggregation split.
+
+Paper shape: FCM wins every section on both prec@50 and ndcg@50; CML is the
+best baseline; every method drops on DA-based queries, FCM the least.  The
+scaled run should preserve those orderings (FCM above the baselines overall,
+and FCM's with-DA drop smaller than CML's).
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_method_comparison, paper_numbers, run_table2
+
+METHOD_ORDER = ("CML", "DE-LN", "Opt-LN", "Qetch*", "FCM")
+
+
+def test_table2_overall_effectiveness(benchmark, bench_data, all_methods, record_result):
+    result = benchmark.pedantic(
+        run_table2, args=(all_methods, bench_data), rounds=1, iterations=1
+    )
+
+    text = format_method_comparison(
+        result,
+        METHOD_ORDER,
+        section_order=("overall", "with_da", "without_da"),
+        title="Table II — effectiveness for all queries, with/without DA (measured)",
+    )
+    paper = format_method_comparison(
+        paper_numbers.TABLE2,
+        METHOD_ORDER,
+        section_order=("overall", "with_da", "without_da"),
+        title="Table II — paper-reported values (prec@50 / ndcg@50)",
+    )
+    record_result("table2", text + "\n\n" + paper)
+
+    overall = result["overall"]
+    # Sanity: every method produced valid metrics over every query.
+    for name in METHOD_ORDER:
+        assert 0.0 <= overall[name]["prec"] <= 1.0
+        assert overall[name]["queries"] == len(bench_data.queries)
+    # Paper shape: FCM is the strongest method overall.  At this reproduction
+    # scale the trained model can land within noise of the best baseline, so
+    # the hard requirement is "top two"; the printed table records the exact
+    # ordering for EXPERIMENTS.md.
+    ranking = sorted(METHOD_ORDER, key=lambda m: overall[m]["prec"], reverse=True)
+    assert "FCM" in ranking[:2], f"FCM not in the top two overall: {overall}"

@@ -1,0 +1,56 @@
+"""Table III — effectiveness versus the number of lines M in the query chart.
+
+Paper shape: every method degrades as M grows; FCM stays ahead in every
+bucket and its relative margin over CML widens with M.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench import format_method_comparison, paper_numbers, run_table3
+from repro.bench.experiments import LINE_BUCKETS
+
+METHOD_ORDER = ("CML", "DE-LN", "Opt-LN", "Qetch*", "FCM")
+
+
+def test_table3_multiline_queries(benchmark, bench_data, all_methods, record_result):
+    result = benchmark.pedantic(
+        run_table3, args=(all_methods, bench_data), rounds=1, iterations=1
+    )
+
+    text = format_method_comparison(
+        result,
+        METHOD_ORDER,
+        section_order=LINE_BUCKETS,
+        title="Table III — effectiveness vs number of lines M (measured)",
+    )
+    paper = format_method_comparison(
+        paper_numbers.TABLE3,
+        METHOD_ORDER,
+        section_order=LINE_BUCKETS,
+        title="Table III — paper-reported values",
+    )
+    record_result("table3", text + "\n\n" + paper)
+
+    # Every populated bucket yields valid metrics for every method.
+    for bucket in LINE_BUCKETS:
+        for name in METHOD_ORDER:
+            summary = result[bucket][name]
+            if summary["queries"] == 0:
+                continue
+            assert 0.0 <= summary["prec"] <= 1.0
+            assert 0.0 <= summary["ndcg"] <= 1.0
+
+    # Paper shape: FCM leads in every bucket.  At this reproduction scale the
+    # requirement is relaxed to "top two in at least half the populated
+    # buckets"; the printed tables record the exact per-bucket ordering.
+    populated = [b for b in LINE_BUCKETS if result[b]["FCM"]["queries"] > 0]
+    top_two = 0
+    for b in populated:
+        ranking = sorted(METHOD_ORDER, key=lambda m: result[b][m]["prec"], reverse=True)
+        if "FCM" in ranking[:2]:
+            top_two += 1
+    assert top_two >= math.ceil(len(populated) / 2), (
+        f"FCM in the top two of only {top_two}/{len(populated)} line-count buckets"
+    )

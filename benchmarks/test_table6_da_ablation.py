@@ -1,0 +1,37 @@
+"""Table VI — impact of the data-aggregation layers (FCM vs FCM−DA).
+
+Paper shape: the DA layers matter almost exclusively for DA-based queries
+(+120% prec there) while non-DA queries are unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_method_comparison, paper_numbers, run_table6
+
+
+def test_table6_da_layers_ablation(benchmark, bench_data, fcm_methods, record_result):
+    result = benchmark.pedantic(
+        run_table6,
+        args=(fcm_methods["FCM"], fcm_methods["FCM-DA"], bench_data),
+        rounds=1,
+        iterations=1,
+    )
+
+    sections = ("overall", "with_da", "without_da")
+    text = format_method_comparison(
+        result, ("FCM", "FCM-DA"), section_order=sections,
+        title="Table VI — impact of the DA layers (measured)",
+    )
+    paper = format_method_comparison(
+        paper_numbers.TABLE6, ("FCM", "FCM-DA"), section_order=sections,
+        title="Table VI — paper-reported values",
+    )
+    record_result("table6", text + "\n\n" + paper)
+
+    for section in sections:
+        for name in ("FCM", "FCM-DA"):
+            assert 0.0 <= result[section][name]["prec"] <= 1.0
+    assert result["with_da"]["FCM"]["queries"] == len(bench_data.queries_with_aggregation(True))
+    assert result["without_da"]["FCM"]["queries"] == len(
+        bench_data.queries_with_aggregation(False)
+    )

@@ -1,0 +1,35 @@
+"""Table VII — impact of the segment sizes P1 (line) and P2 (data).
+
+Paper shape: effectiveness peaks at moderate segment sizes (P1=60, P2=64) and
+drops when segments are either very small (no local shape left) or very large
+(no fine-grained matching).  The scaled sweep uses a 3×3 grid around that
+peak with a short training budget per cell.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_grid, paper_numbers, run_table7
+
+P1_VALUES = (30, 60, 120)
+P2_VALUES = (32, 64, 128)
+
+
+def test_table7_segment_size_sweep(benchmark, bench_data, scale, record_result):
+    grid = benchmark.pedantic(
+        run_table7,
+        args=(bench_data, scale),
+        kwargs={"p1_values": P1_VALUES, "p2_values": P2_VALUES},
+        rounds=1,
+        iterations=1,
+    )
+
+    text = format_grid(grid, title="Table VII — prec@k over the P1 x P2 grid (measured)")
+    paper_subset = {
+        key: value for key, value in paper_numbers.TABLE7.items()
+        if key[0] in P1_VALUES and key[1] in P2_VALUES
+    }
+    paper = format_grid(paper_subset, title="Table VII — paper-reported prec@50 (same cells)")
+    record_result("table7", text + "\n\n" + paper)
+
+    assert set(grid) == {(p1, p2) for p1 in P1_VALUES for p2 in P2_VALUES}
+    assert all(0.0 <= value <= 1.0 for value in grid.values())

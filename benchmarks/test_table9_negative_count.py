@@ -1,0 +1,37 @@
+"""Table IX / Appendix D — impact of the number of negative samples N−.
+
+Paper shape: effectiveness improves from N−=1 to N−=3 and then plateaus
+(slightly degrading for very large N−).  The scaled sweep trains a
+short-budget FCM per N− value.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table, paper_numbers, run_table9
+
+NEGATIVE_COUNTS = (1, 2, 3, 6)
+
+
+def test_table9_number_of_negatives(benchmark, bench_data, scale, record_result):
+    result = benchmark.pedantic(
+        run_table9,
+        args=(bench_data, scale),
+        kwargs={"negative_counts": NEGATIVE_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+
+    headers = ["N-", "prec", "ndcg"]
+    rows = [[n, result[n]["prec"], result[n]["ndcg"]] for n in NEGATIVE_COUNTS]
+    paper_rows = [
+        [n, paper_numbers.TABLE9[n]["prec"], paper_numbers.TABLE9[n]["ndcg"]]
+        for n in NEGATIVE_COUNTS
+    ]
+    text = format_table(headers, rows, title="Table IX — impact of N- (measured)")
+    paper = format_table(headers, paper_rows, title="Table IX — paper-reported values")
+    record_result("table9", text + "\n\n" + paper)
+
+    assert set(result) == set(NEGATIVE_COUNTS)
+    for summary in result.values():
+        assert 0.0 <= summary["prec"] <= 1.0
+        assert 0.0 <= summary["ndcg"] <= 1.0

@@ -1,0 +1,43 @@
+"""``repro.baselines`` — comparison methods: CML, Qetch*, DE-LN, Opt-LN, ablations."""
+
+from .ablations import (
+    ABLATION_FACTORIES,
+    FCMMethod,
+    fcm_full_config,
+    fcm_without_da_config,
+    fcm_without_hcman_config,
+    train_fcm_variant,
+)
+from .base import DiscoveryMethod
+from .cml import CMLConfig, CMLMethod, CMLModel, train_cml
+from .de_ln import DELNMethod, OptLNMethod
+from .linenet import LineNetConfig, LineNetModel, train_linenet
+from .qetch import QetchConfig, QetchStarMethod, qetch_match_error, qetch_similarity
+from .visrec import DeepEyeRecommender, VisRecConfig, column_interestingness, detect_x_column
+
+__all__ = [
+    "ABLATION_FACTORIES",
+    "CMLConfig",
+    "CMLMethod",
+    "CMLModel",
+    "DELNMethod",
+    "DeepEyeRecommender",
+    "DiscoveryMethod",
+    "FCMMethod",
+    "LineNetConfig",
+    "LineNetModel",
+    "OptLNMethod",
+    "QetchConfig",
+    "QetchStarMethod",
+    "VisRecConfig",
+    "column_interestingness",
+    "detect_x_column",
+    "fcm_full_config",
+    "fcm_without_da_config",
+    "fcm_without_hcman_config",
+    "qetch_match_error",
+    "qetch_similarity",
+    "train_cml",
+    "train_fcm_variant",
+    "train_linenet",
+]

@@ -1,0 +1,48 @@
+"""Common interface for all retrieval methods compared in the experiments.
+
+Every method — FCM, its ablations, and the four baselines of Sec. VII-B —
+implements the same two-phase protocol:
+
+1. :meth:`DiscoveryMethod.index_repository` — offline, once per repository;
+2. :meth:`DiscoveryMethod.rank` — per query chart, return tables ordered by
+   decreasing estimated relevance.
+
+The evaluation harness (``repro.bench``) only talks to this interface, so
+adding a method to every table of the paper requires nothing beyond
+implementing it here.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..charts.rasterizer import LineChart
+from ..data.table import Table
+
+
+class DiscoveryMethod(ABC):
+    """Abstract base class for dataset-discovery-via-line-charts methods."""
+
+    #: Human-readable name used in experiment reports.
+    name: str = "method"
+
+    @abstractmethod
+    def index_repository(self, tables: Iterable[Table]) -> None:
+        """Pre-process the candidate tables (offline phase)."""
+
+    @abstractmethod
+    def score_chart(self, chart: LineChart) -> Dict[str, float]:
+        """Return ``{table_id: estimated relevance}`` over the indexed tables."""
+
+    def rank(self, chart: LineChart, k: Optional[int] = None) -> List[Tuple[str, float]]:
+        """Tables ordered by decreasing estimated relevance (top-``k``)."""
+        scores = self.score_chart(chart)
+        ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)
+        return ranked if k is None else ranked[:k]
+
+    def top_k_ids(self, chart: LineChart, k: int) -> List[str]:
+        return [table_id for table_id, _ in self.rank(chart, k=k)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"

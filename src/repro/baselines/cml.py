@@ -1,0 +1,236 @@
+"""CML baseline: generic cross-modal bi-encoder with cosine similarity.
+
+Sec. VII-B describes CML as "a simple but effective baseline" pairing a
+Vision Transformer chart encoder with a TURL-style table encoder and scoring
+with cosine similarity of the two pooled embeddings.  Pre-trained ViT/TURL
+checkpoints are not available offline, so both towers are trained from
+scratch (on the same NumPy engine as FCM) with an InfoNCE contrastive loss
+over in-batch negatives — which preserves CML's role in the comparison: a
+strong single-vector bi-encoder with no fine-grained (segment-level)
+matching and no aggregation modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart, render_chart_for_table
+from ..data.corpus import CorpusRecord
+from ..data.table import Table
+from ..nn import (
+    Adam,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+    contrastive_cosine_loss,
+    stack,
+)
+from ..fcm.preprocessing import column_segments, resample_series
+from ..fcm.config import FCMConfig
+from .base import DiscoveryMethod
+
+
+@dataclass
+class CMLConfig:
+    """Hyper-parameters of the CML bi-encoder."""
+
+    embed_dim: int = 32
+    num_heads: int = 2
+    num_layers: int = 1
+    patch_width: int = 24
+    image_pool: int = 4
+    column_length: int = 64
+    epochs: int = 8
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    temperature: float = 0.1
+    seed: int = 0
+
+
+class ChartTower(Module):
+    """ViT-style encoder of the whole chart image into one vector."""
+
+    def __init__(self, config: CMLConfig, chart_height: int, chart_width: int,
+                 rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.chart_height = chart_height
+        self.chart_width = chart_width
+        pooled_h = max(chart_height // config.image_pool, 1)
+        pooled_patch_w = max(config.patch_width // config.image_pool, 1)
+        self.num_patches = max(chart_width // config.patch_width, 1)
+        self.patch_dim = pooled_h * pooled_patch_w
+        self.projection = Linear(self.patch_dim, config.embed_dim, rng=rng)
+        self.encoder = TransformerEncoder(
+            embed_dim=config.embed_dim,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            max_positions=self.num_patches,
+            rng=rng,
+        )
+
+    def patch_features(self, image: np.ndarray) -> np.ndarray:
+        """Split the image into vertical strips and pool + flatten each."""
+        pool = self.config.image_pool
+        patch_w = self.config.patch_width
+        features = np.zeros((self.num_patches, self.patch_dim))
+        for idx in range(self.num_patches):
+            left = idx * patch_w
+            patch = image[:, left : left + patch_w]
+            if patch.shape[1] < patch_w:
+                padded = np.zeros((image.shape[0], patch_w))
+                padded[:, : patch.shape[1]] = patch
+                patch = padded
+            h, w = patch.shape
+            ph, pw = h // pool, w // pool
+            pooled = patch[: ph * pool, : pw * pool].reshape(ph, pool, pw, pool).mean(axis=(1, 3))
+            flat = pooled.ravel()
+            features[idx, : flat.shape[0]] = flat[: self.patch_dim]
+        return features
+
+    def forward(self, image: np.ndarray) -> Tensor:
+        features = Tensor(self.patch_features(np.asarray(image, dtype=np.float64)))
+        encoded = self.encoder(self.projection(features))
+        return encoded.mean(axis=0)
+
+
+class TableTower(Module):
+    """TURL-style column-token encoder of the whole table into one vector."""
+
+    def __init__(self, config: CMLConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.projection = Linear(config.column_length, config.embed_dim, rng=rng)
+        self.encoder = TransformerEncoder(
+            embed_dim=config.embed_dim,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            max_positions=64,
+            rng=rng,
+        )
+
+    def column_features(self, table: Table) -> np.ndarray:
+        features = np.zeros((table.num_columns, self.config.column_length))
+        for idx, column in enumerate(table.columns):
+            resampled = resample_series(column.values, self.config.column_length)
+            std = resampled.std()
+            if std > 1e-8:
+                resampled = (resampled - resampled.mean()) / std
+            features[idx] = resampled
+        return features
+
+    def forward(self, table: Table) -> Tensor:
+        features = Tensor(self.column_features(table))
+        encoded = self.encoder(self.projection(features))
+        return encoded.mean(axis=0)
+
+
+class CMLModel(Module):
+    """The two-tower CML model."""
+
+    def __init__(self, config: Optional[CMLConfig] = None,
+                 chart_height: int = 120, chart_width: int = 240) -> None:
+        super().__init__()
+        self.config = config or CMLConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.chart_tower = ChartTower(self.config, chart_height, chart_width, rng)
+        self.table_tower = TableTower(self.config, rng)
+
+    def forward(self, image: np.ndarray, table: Table) -> Tuple[Tensor, Tensor]:
+        return self.chart_tower(image), self.table_tower(table)
+
+    @staticmethod
+    def cosine(a: np.ndarray, b: np.ndarray) -> float:
+        denom = (np.linalg.norm(a) * np.linalg.norm(b)) + 1e-12
+        return float(np.dot(a, b) / denom)
+
+
+def train_cml(
+    records: Sequence[CorpusRecord],
+    config: Optional[CMLConfig] = None,
+    chart_spec=None,
+) -> Tuple[CMLModel, List[float]]:
+    """Train CML contrastively on the training-split records.
+
+    Each record contributes one (chart image, table) positive pair; the other
+    tables of the mini-batch serve as in-batch negatives.
+    """
+    config = config or CMLConfig()
+    line_records = [r for r in records if r.spec.chart_type == "line"]
+    if not line_records:
+        raise ValueError("no line-chart records to train CML on")
+    charts: List[np.ndarray] = []
+    tables: List[Table] = []
+    for record in line_records:
+        chart = render_chart_for_table(
+            record.table,
+            list(record.spec.y_columns),
+            x_column=record.spec.x_column,
+            spec=chart_spec,
+        )
+        charts.append(chart.image)
+        tables.append(record.table)
+
+    model = CMLModel(
+        config, chart_height=charts[0].shape[0], chart_width=charts[0].shape[1]
+    )
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    rng = np.random.default_rng(config.seed)
+    losses: List[float] = []
+    n = len(charts)
+    for _ in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_losses: List[float] = []
+        for start in range(0, n, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            if batch.shape[0] < 2:
+                continue
+            table_vecs = [model.table_tower(tables[i]) for i in batch]
+            batch_loss = None
+            for pos, i in enumerate(batch):
+                anchor = model.chart_tower(charts[i])
+                positive = table_vecs[pos]
+                negatives = stack(
+                    [table_vecs[j] for j in range(len(batch)) if j != pos], axis=0
+                )
+                loss = contrastive_cosine_loss(
+                    anchor, positive, negatives, temperature=config.temperature
+                )
+                batch_loss = loss if batch_loss is None else batch_loss + loss
+            batch_loss = batch_loss * (1.0 / batch.shape[0])
+            optimizer.zero_grad()
+            batch_loss.backward()
+            optimizer.step()
+            epoch_losses.append(batch_loss.item())
+        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+    model.eval()
+    return model, losses
+
+
+class CMLMethod(DiscoveryMethod):
+    """CML as a :class:`DiscoveryMethod`: cached table vectors + cosine."""
+
+    name = "CML"
+
+    def __init__(self, model: CMLModel) -> None:
+        self.model = model
+        self._table_vectors: Dict[str, np.ndarray] = {}
+
+    def index_repository(self, tables: Iterable[Table]) -> None:
+        self.model.eval()
+        for table in tables:
+            if table.table_id in self._table_vectors:
+                continue
+            self._table_vectors[table.table_id] = self.model.table_tower(table).numpy()
+
+    def score_chart(self, chart: LineChart) -> Dict[str, float]:
+        self.model.eval()
+        query = self.model.chart_tower(chart.image).numpy()
+        return {
+            table_id: CMLModel.cosine(query, vector)
+            for table_id, vector in self._table_vectors.items()
+        }

@@ -1,0 +1,120 @@
+"""DE-LN and Opt-LN baselines (Sec. VII-B).
+
+**DE-LN** chains visualization recommendation and chart search: DeepEye
+recommends up to five line charts per candidate table, LineNet scores each
+recommended chart against the query chart, and the best similarity becomes
+the table's relevance.  Its effectiveness is therefore bounded by the
+recommender — if DeepEye never recommends the chart the user had in mind, no
+amount of chart similarity can recover it.
+
+**Opt-LN** removes that bound by using an oracle: the chart each candidate
+table is *actually* associated with in the corpus (its own visualization
+specification) is compared against the query directly.  It is not realisable
+in practice (the association is exactly what discovery is trying to find) and
+serves purely as DE-LN's upper bound, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart, render_chart_for_table
+from ..charts.spec import ChartSpec
+from ..data.corpus import VisualizationSpec
+from ..data.table import Table
+from .base import DiscoveryMethod
+from .linenet import LineNetModel
+from .visrec import DeepEyeRecommender, VisRecConfig, detect_x_column
+
+
+class DELNMethod(DiscoveryMethod):
+    """DE-LN: DeepEye recommendations scored by LineNet."""
+
+    name = "DE-LN"
+
+    def __init__(
+        self,
+        linenet: LineNetModel,
+        recommender: Optional[DeepEyeRecommender] = None,
+        chart_spec: Optional[ChartSpec] = None,
+    ) -> None:
+        self.linenet = linenet
+        self.recommender = recommender or DeepEyeRecommender(VisRecConfig())
+        self.chart_spec = chart_spec or ChartSpec()
+        self._embeddings: Dict[str, np.ndarray] = {}
+
+    def index_repository(self, tables: Iterable[Table]) -> None:
+        """Recommend charts per table and cache their LineNet embeddings."""
+        self.linenet.eval()
+        for table in tables:
+            if table.table_id in self._embeddings:
+                continue
+            charts = self.recommender.recommend_charts(table, spec=self.chart_spec)
+            if not charts:
+                # Fall back to plotting every column so the table stays scorable.
+                charts = [
+                    render_chart_for_table(
+                        table,
+                        [c.name for c in table.columns][:3],
+                        x_column=detect_x_column(table),
+                        spec=self.chart_spec,
+                    )
+                ]
+            self._embeddings[table.table_id] = np.stack(
+                [self.linenet.embed(chart.image) for chart in charts]
+            )
+
+    def score_chart(self, chart: LineChart) -> Dict[str, float]:
+        self.linenet.eval()
+        query = self.linenet.embed(chart.image)
+        scores: Dict[str, float] = {}
+        for table_id, embeddings in self._embeddings.items():
+            sims = embeddings @ query
+            scores[table_id] = float(sims.max())
+        return scores
+
+
+class OptLNMethod(DiscoveryMethod):
+    """Opt-LN: LineNet against each table's own (oracle) associated chart."""
+
+    name = "Opt-LN"
+
+    def __init__(
+        self,
+        linenet: LineNetModel,
+        specs: Dict[str, VisualizationSpec],
+        chart_spec: Optional[ChartSpec] = None,
+    ) -> None:
+        self.linenet = linenet
+        self.specs = dict(specs)
+        self.chart_spec = chart_spec or ChartSpec()
+        self._embeddings: Dict[str, np.ndarray] = {}
+
+    def index_repository(self, tables: Iterable[Table]) -> None:
+        self.linenet.eval()
+        for table in tables:
+            if table.table_id in self._embeddings:
+                continue
+            spec = self.specs.get(table.table_id)
+            if spec is not None:
+                y_columns = [name for name in spec.y_columns if name in table]
+                x_column = spec.x_column if spec.x_column in table else None
+            else:
+                y_columns, x_column = [], None
+            if not y_columns:
+                y_columns = [c.name for c in table.columns][:3]
+                x_column = detect_x_column(table)
+            chart = render_chart_for_table(
+                table, y_columns, x_column=x_column, spec=self.chart_spec
+            )
+            self._embeddings[table.table_id] = self.linenet.embed(chart.image)
+
+    def score_chart(self, chart: LineChart) -> Dict[str, float]:
+        self.linenet.eval()
+        query = self.linenet.embed(chart.image)
+        return {
+            table_id: float(np.dot(embedding, query))
+            for table_id, embedding in self._embeddings.items()
+        }

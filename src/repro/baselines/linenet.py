@@ -1,0 +1,181 @@
+"""LineNet: learned chart-image similarity (used by the DE-LN / Opt-LN baselines).
+
+LineNet (Luo et al., SIGMOD'23) learns data-aware image representations of
+line charts for similarity search.  The published model is a deep CNN trained
+on millions of chart pairs; the substitution here is a patch-transformer
+image embedder (the same family as the CML chart tower) trained
+contrastively so that two charts rendered from the *same* table — under the
+chart-preserving augmentations of Sec. IV-A — embed close together, while
+charts from different tables embed apart.  This keeps LineNet's role in the
+comparison: a chart-to-chart similarity model with no access to the raw
+candidate data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import render_chart_for_table
+from ..charts.spec import ChartSpec
+from ..data.augmentation import AugmentationConfig, augment_table
+from ..data.corpus import CorpusRecord
+from ..nn import (
+    Adam,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+    contrastive_cosine_loss,
+    stack,
+)
+from .base import DiscoveryMethod  # noqa: F401  (re-exported for convenience)
+
+
+@dataclass
+class LineNetConfig:
+    """Hyper-parameters of the LineNet chart embedder."""
+
+    embed_dim: int = 32
+    num_heads: int = 2
+    num_layers: int = 1
+    patch_width: int = 24
+    image_pool: int = 4
+    epochs: int = 6
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    temperature: float = 0.1
+    seed: int = 0
+
+
+class LineNetModel(Module):
+    """Patch-transformer embedding of a chart image into a single vector."""
+
+    def __init__(
+        self,
+        config: Optional[LineNetConfig] = None,
+        chart_height: int = 120,
+        chart_width: int = 240,
+    ) -> None:
+        super().__init__()
+        self.config = config or LineNetConfig()
+        rng = np.random.default_rng(self.config.seed)
+        pooled_h = max(chart_height // self.config.image_pool, 1)
+        pooled_w = max(self.config.patch_width // self.config.image_pool, 1)
+        self.num_patches = max(chart_width // self.config.patch_width, 1)
+        self.patch_dim = pooled_h * pooled_w
+        self.projection = Linear(self.patch_dim, self.config.embed_dim, rng=rng)
+        self.encoder = TransformerEncoder(
+            embed_dim=self.config.embed_dim,
+            num_heads=self.config.num_heads,
+            num_layers=self.config.num_layers,
+            max_positions=self.num_patches,
+            rng=rng,
+        )
+
+    def patch_features(self, image: np.ndarray) -> np.ndarray:
+        pool = self.config.image_pool
+        patch_w = self.config.patch_width
+        features = np.zeros((self.num_patches, self.patch_dim))
+        for idx in range(self.num_patches):
+            left = idx * patch_w
+            patch = image[:, left : left + patch_w]
+            if patch.shape[1] < patch_w:
+                padded = np.zeros((image.shape[0], patch_w))
+                padded[:, : patch.shape[1]] = patch
+                patch = padded
+            h, w = patch.shape
+            ph, pw = h // pool, w // pool
+            pooled = patch[: ph * pool, : pw * pool].reshape(ph, pool, pw, pool).mean(axis=(1, 3))
+            flat = pooled.ravel()
+            features[idx, : flat.shape[0]] = flat[: self.patch_dim]
+        return features
+
+    def forward(self, image: np.ndarray) -> Tensor:
+        features = Tensor(self.patch_features(np.asarray(image, dtype=np.float64)))
+        encoded = self.encoder(self.projection(features))
+        return encoded.mean(axis=0)
+
+    def embed(self, image: np.ndarray) -> np.ndarray:
+        """L2-normalised embedding as a plain array (inference helper)."""
+        vector = self.forward(image).numpy()
+        norm = np.linalg.norm(vector) + 1e-12
+        return vector / norm
+
+    @staticmethod
+    def similarity(a: np.ndarray, b: np.ndarray) -> float:
+        denom = (np.linalg.norm(a) * np.linalg.norm(b)) + 1e-12
+        return float(np.dot(a, b) / denom)
+
+
+def _augmented_chart_pair(
+    record: CorpusRecord,
+    spec: ChartSpec,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Render an (anchor, positive) chart-image pair from one record."""
+    y_columns = list(record.spec.y_columns)
+    anchor = render_chart_for_table(
+        record.table, y_columns, x_column=record.spec.x_column, spec=spec
+    ).image
+    variants = augment_table(
+        record.table, config=AugmentationConfig(partition=False), rng=rng
+    )
+    if variants:
+        variant = variants[int(rng.integers(0, len(variants)))]
+        kept = [name for name in y_columns if name in variant]
+        x_column = record.spec.x_column if record.spec.x_column in variant else None
+        if kept:
+            positive = render_chart_for_table(variant, kept, x_column=x_column, spec=spec).image
+            return anchor, positive
+    return anchor, anchor.copy()
+
+
+def train_linenet(
+    records: Sequence[CorpusRecord],
+    config: Optional[LineNetConfig] = None,
+    chart_spec: Optional[ChartSpec] = None,
+) -> Tuple[LineNetModel, List[float]]:
+    """Train LineNet contrastively on augmented chart pairs."""
+    config = config or LineNetConfig()
+    chart_spec = chart_spec or ChartSpec()
+    line_records = [r for r in records if r.spec.chart_type == "line"]
+    if not line_records:
+        raise ValueError("no line-chart records to train LineNet on")
+    rng = np.random.default_rng(config.seed)
+    pairs = [_augmented_chart_pair(record, chart_spec, rng) for record in line_records]
+
+    model = LineNetModel(
+        config, chart_height=chart_spec.height, chart_width=chart_spec.width
+    )
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    losses: List[float] = []
+    n = len(pairs)
+    for _ in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_losses: List[float] = []
+        for start in range(0, n, config.batch_size):
+            batch = order[start : start + config.batch_size]
+            if batch.shape[0] < 2:
+                continue
+            positives = [model(pairs[i][1]) for i in batch]
+            batch_loss = None
+            for pos, i in enumerate(batch):
+                anchor = model(pairs[i][0])
+                negatives = stack(
+                    [positives[j] for j in range(len(batch)) if j != pos], axis=0
+                )
+                loss = contrastive_cosine_loss(
+                    anchor, positives[pos], negatives, temperature=config.temperature
+                )
+                batch_loss = loss if batch_loss is None else batch_loss + loss
+            batch_loss = batch_loss * (1.0 / batch.shape[0])
+            optimizer.zero_grad()
+            batch_loss.backward()
+            optimizer.step()
+            epoch_losses.append(batch_loss.item())
+        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+    model.eval()
+    return model, losses

@@ -1,0 +1,113 @@
+"""DeepEye-style visualization recommendation (the "DE" part of DE-LN).
+
+DeepEye (Luo et al., ICDE'18) ranks candidate visualizations of a table by
+learned/heuristic "interestingness".  The reproduction uses the heuristic
+scoring path: every plottable column (or small group of columns) is scored by
+how line-chart-worthy it is — strong trend, adequate variation, reasonable
+length — and the top-ranked candidates are rendered as line charts.  As in
+the paper's DE-LN baseline, the recommender's quality upper-bounds the whole
+pipeline, which is exactly the weakness Table II demonstrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart, render_chart_for_table
+from ..charts.spec import ChartSpec
+from ..data.column import Column
+from ..data.table import Table
+
+
+@dataclass
+class VisRecConfig:
+    """Knobs of the heuristic recommender."""
+
+    max_recommendations: int = 5
+    max_lines_per_chart: int = 3
+    min_points: int = 10
+
+
+def column_interestingness(column: Column) -> float:
+    """Heuristic line-chart-worthiness of a single column.
+
+    Combines three signals, each in ``[0, 1]``:
+
+    * **trend strength** — absolute correlation between the values and time;
+    * **smoothness** — one minus the (normalised) mean absolute first
+      difference, so wildly jumping series score lower;
+    * **variation** — whether the column is not (nearly) constant.
+    """
+    values = column.values
+    if values.shape[0] < 3:
+        return 0.0
+    std = values.std()
+    if std < 1e-12:
+        return 0.0
+    t = np.arange(values.shape[0], dtype=np.float64)
+    trend = float(abs(np.corrcoef(t, values)[0, 1]))
+    if np.isnan(trend):
+        trend = 0.0
+    diffs = np.abs(np.diff(values)) / (std + 1e-12)
+    smoothness = float(1.0 / (1.0 + diffs.mean()))
+    variation = float(min(std / (abs(values.mean()) + std + 1e-12), 1.0))
+    return (trend + smoothness + variation) / 3.0
+
+
+def detect_x_column(table: Table) -> Optional[str]:
+    """Pick the column that most resembles an x-axis (monotonically increasing)."""
+    best_name, best_score = None, 0.0
+    for column in table.columns:
+        diffs = np.diff(column.values)
+        if diffs.size == 0:
+            continue
+        monotone = float(np.mean(diffs > 0))
+        if monotone > 0.99 and monotone > best_score:
+            best_name, best_score = column.name, monotone
+    return best_name
+
+
+class DeepEyeRecommender:
+    """Recommend up to ``max_recommendations`` line charts for a table."""
+
+    def __init__(self, config: Optional[VisRecConfig] = None) -> None:
+        self.config = config or VisRecConfig()
+
+    def recommend_column_sets(self, table: Table) -> List[List[str]]:
+        """Ranked lists of y-column names, one list per recommended chart."""
+        x_column = detect_x_column(table)
+        candidates = [
+            (column.name, column_interestingness(column))
+            for column in table.columns
+            if column.name != x_column and len(column) >= self.config.min_points
+        ]
+        candidates = [(name, score) for name, score in candidates if score > 0]
+        candidates.sort(key=lambda item: item[1], reverse=True)
+        names = [name for name, _ in candidates]
+        if not names:
+            return []
+
+        recommendations: List[List[str]] = []
+        # Single-column charts for the most interesting columns.
+        for name in names[: self.config.max_recommendations]:
+            recommendations.append([name])
+        # Multi-line charts combining the top columns.
+        for count in range(2, self.config.max_lines_per_chart + 1):
+            if len(names) >= count and len(recommendations) < self.config.max_recommendations:
+                recommendations.append(names[:count])
+        return recommendations[: self.config.max_recommendations]
+
+    def recommend_charts(
+        self, table: Table, spec: Optional[ChartSpec] = None
+    ) -> List[LineChart]:
+        """Render the recommended charts for ``table``."""
+        x_column = detect_x_column(table)
+        charts: List[LineChart] = []
+        for y_columns in self.recommend_column_sets(table):
+            charts.append(
+                render_chart_for_table(table, y_columns, x_column=x_column, spec=spec)
+            )
+        return charts

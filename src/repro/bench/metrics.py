@@ -1,0 +1,78 @@
+"""Retrieval metrics: prec@k and ndcg@k (Sec. VII-B).
+
+The benchmark marks, for each query, a set of relevant tables (the top-k
+tables under the ground-truth relevance ``Rel(D, T)``).  Relevance is binary,
+so:
+
+* ``prec@k`` — fraction of the top-k retrieved tables that are relevant;
+* ``ndcg@k`` — DCG of the retrieved list divided by the ideal DCG, with
+  binary gains and the standard ``1 / log2(rank + 1)`` discount.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+import numpy as np
+
+
+def precision_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Precision of the first ``k`` retrieved ids against the relevant set."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    top = list(retrieved)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for table_id in top if table_id in relevant)
+    return hits / k
+
+
+def dcg_at_k(gains: Sequence[float], k: int) -> float:
+    """Discounted cumulative gain of a gain sequence truncated at ``k``."""
+    gains = list(gains)[:k]
+    if not gains:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    return float(np.sum(np.asarray(gains) * discounts))
+
+
+def ndcg_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Normalised DCG with binary gains."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    gains = [1.0 if table_id in relevant else 0.0 for table_id in list(retrieved)[:k]]
+    ideal_gains = [1.0] * min(len(relevant), k)
+    ideal = dcg_at_k(ideal_gains, k)
+    if ideal == 0.0:
+        return 0.0
+    return dcg_at_k(gains, k) / ideal
+
+
+def recall_at_k(retrieved: Sequence[str], relevant: Set[str], k: int) -> float:
+    """Recall of the first ``k`` retrieved ids (extra diagnostic metric)."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not relevant:
+        return 0.0
+    top = set(list(retrieved)[:k])
+    return len(top & relevant) / len(relevant)
+
+
+def mean_metric(values: Iterable[float]) -> float:
+    """Mean of a collection of per-query metric values (0 when empty)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return float(np.mean(values))
+
+
+def aggregate_metrics(per_query: List[Dict[str, float]]) -> Dict[str, float]:
+    """Average a list of per-query metric dictionaries key-wise."""
+    if not per_query:
+        return {}
+    keys = set().union(*(record.keys() for record in per_query))
+    return {key: mean_metric(record.get(key, 0.0) for record in per_query) for key in keys}

@@ -1,0 +1,95 @@
+"""Plain-text formatting of experiment results.
+
+Every benchmark target prints the rows/series the corresponding paper table
+or figure reports, using these helpers so the output is uniform and easy to
+copy into ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_method_comparison(
+    result: Mapping[str, Mapping[str, Mapping[str, float]]],
+    method_order: Sequence[str],
+    section_order: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Format nested ``{section: {method: {prec, ndcg}}}`` results."""
+    sections = list(section_order) if section_order else list(result.keys())
+    headers = ["section", "metric", *method_order]
+    rows: List[List[object]] = []
+    for section in sections:
+        per_method = result.get(section, {})
+        for metric in ("prec", "ndcg"):
+            row: List[object] = [section, metric]
+            for method in method_order:
+                row.append(per_method.get(method, {}).get(metric))
+            rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_grid(
+    grid: Mapping[Tuple[int, int], float],
+    row_label: str = "P1",
+    col_label: str = "P2",
+    title: Optional[str] = None,
+) -> str:
+    """Format a ``{(row, col): value}`` grid (used by Table VII)."""
+    row_keys = sorted({key[0] for key in grid})
+    col_keys = sorted({key[1] for key in grid})
+    headers = [f"{row_label}\\{col_label}", *[str(c) for c in col_keys]]
+    rows = []
+    for row_key in row_keys:
+        rows.append([row_key, *[grid.get((row_key, col_key)) for col_key in col_keys]])
+    return format_table(headers, rows, title=title)
+
+
+def format_curves(
+    curves: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    x_label: str = "epoch",
+) -> str:
+    """Format per-epoch curves (used by Figure 5)."""
+    max_len = max((len(v) for v in curves.values()), default=0)
+    headers = [x_label, *list(curves.keys())]
+    rows = []
+    for epoch in range(max_len):
+        row: List[object] = [epoch]
+        for series in curves.values():
+            row.append(series[epoch] if epoch < len(series) else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,57 @@
+"""``repro.charts`` — chart substrate: rasteriser, ticks, LineChartSeg."""
+
+from .canvas import Canvas
+from .linechartseg import LineChartSegDataset, SegmentationExample, build_linechartseg
+from .rasterizer import (
+    LineChart,
+    render_chart_for_table,
+    render_line_chart,
+    underlying_data_from_table,
+)
+from .spec import (
+    MASK_AXIS,
+    MASK_BACKGROUND,
+    MASK_CLASS_NAMES,
+    MASK_LINE,
+    MASK_TICK_LABEL,
+    MASK_Y_TICK,
+    NUM_MASK_CLASSES,
+    ChartSpec,
+)
+from .ticks import (
+    GLYPHS,
+    Tick,
+    compute_ticks,
+    format_tick,
+    match_text,
+    nice_ticks,
+    parse_tick_label,
+    render_text,
+)
+
+__all__ = [
+    "Canvas",
+    "ChartSpec",
+    "GLYPHS",
+    "LineChart",
+    "LineChartSegDataset",
+    "MASK_AXIS",
+    "MASK_BACKGROUND",
+    "MASK_CLASS_NAMES",
+    "MASK_LINE",
+    "MASK_TICK_LABEL",
+    "MASK_Y_TICK",
+    "NUM_MASK_CLASSES",
+    "SegmentationExample",
+    "Tick",
+    "build_linechartseg",
+    "compute_ticks",
+    "format_tick",
+    "match_text",
+    "nice_ticks",
+    "parse_tick_label",
+    "render_chart_for_table",
+    "render_line_chart",
+    "render_text",
+    "underlying_data_from_table",
+]

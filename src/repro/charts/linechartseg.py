@@ -1,0 +1,139 @@
+"""LineChartSeg: the line-chart segmentation dataset (Sec. IV-A).
+
+The paper constructs LineChartSeg automatically: every (table, visualization
+specification) pair is rendered into a chart while the visualization library
+tracks which pixels each visual element produced, yielding pixel-level masks
+without manual annotation.  Our rasteriser does exactly that, so building the
+dataset amounts to rendering charts for training-split records (plus their
+chart-preserving augmentations) and keeping the image/mask pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data.augmentation import AugmentationConfig, augment_table
+from ..data.corpus import CorpusRecord
+from ..data.table import Table
+from .rasterizer import LineChart, render_chart_for_table
+from .spec import NUM_MASK_CLASSES, ChartSpec
+
+
+@dataclass
+class SegmentationExample:
+    """One LineChartSeg training example: chart image + pixel class mask."""
+
+    image: np.ndarray
+    class_mask: np.ndarray
+    source_table_id: str
+
+    def __post_init__(self) -> None:
+        if self.image.shape != self.class_mask.shape:
+            raise ValueError("image and class mask must have the same shape")
+        if self.class_mask.max(initial=0) >= NUM_MASK_CLASSES:
+            raise ValueError("class mask contains an unknown class id")
+
+
+@dataclass
+class LineChartSegDataset:
+    """A collection of segmentation examples with simple split helpers."""
+
+    examples: List[SegmentationExample]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __getitem__(self, index: int) -> SegmentationExample:
+        return self.examples[index]
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    def class_histogram(self) -> Dict[int, int]:
+        """Pixel count per class over the whole dataset."""
+        counts: Dict[int, int] = {}
+        for example in self.examples:
+            values, freqs = np.unique(example.class_mask, return_counts=True)
+            for value, freq in zip(values.tolist(), freqs.tolist()):
+                counts[int(value)] = counts.get(int(value), 0) + int(freq)
+        return counts
+
+    def split(self, train_fraction: float = 0.8, seed: int = 0):
+        """Split into (train, validation) datasets."""
+        if not 0 < train_fraction < 1:
+            raise ValueError("train_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self.examples))
+        cut = int(round(train_fraction * len(self.examples)))
+        train = [self.examples[i] for i in order[:cut]]
+        val = [self.examples[i] for i in order[cut:]]
+        return LineChartSegDataset(train), LineChartSegDataset(val)
+
+
+def _valid_y_columns(table: Table, y_columns: Sequence[str]) -> List[str]:
+    """Keep only the spec's y columns that survived an augmentation."""
+    return [name for name in y_columns if name in table]
+
+
+def build_linechartseg(
+    records: Sequence[CorpusRecord],
+    spec: Optional[ChartSpec] = None,
+    augmentation: Optional[AugmentationConfig] = None,
+    rng: Optional[np.random.Generator] = None,
+    max_examples: Optional[int] = None,
+) -> LineChartSegDataset:
+    """Build LineChartSeg from (table, visualization spec) records.
+
+    Parameters
+    ----------
+    records:
+        Corpus records (typically the training split).
+    spec:
+        Chart geometry; defaults to the standard :class:`ChartSpec`.
+    augmentation:
+        Augmentation configuration; pass ``AugmentationConfig(reverse=False,
+        partition=False, down_sample=False)`` to disable augmentation (used by
+        the ablation in the tests).
+    max_examples:
+        Optional cap on the number of examples (keeps tests fast).
+    """
+    spec = spec or ChartSpec()
+    rng = rng or np.random.default_rng(0)
+    augmentation = augmentation if augmentation is not None else AugmentationConfig()
+
+    examples: List[SegmentationExample] = []
+
+    def add_example(chart: LineChart, table_id: str) -> None:
+        examples.append(
+            SegmentationExample(
+                image=chart.image, class_mask=chart.class_mask, source_table_id=table_id
+            )
+        )
+
+    for record in records:
+        if max_examples is not None and len(examples) >= max_examples:
+            break
+        if record.spec.chart_type != "line":
+            continue
+        y_columns = list(record.spec.y_columns)
+        chart = render_chart_for_table(
+            record.table, y_columns, x_column=record.spec.x_column, spec=spec
+        )
+        add_example(chart, record.table.table_id)
+
+        for augmented in augment_table(record.table, config=augmentation, rng=rng):
+            if max_examples is not None and len(examples) >= max_examples:
+                break
+            kept = _valid_y_columns(augmented, y_columns)
+            if not kept:
+                continue
+            x_column = record.spec.x_column if record.spec.x_column in augmented else None
+            aug_chart = render_chart_for_table(
+                augmented, kept, x_column=x_column, spec=spec
+            )
+            add_example(aug_chart, augmented.table_id)
+
+    return LineChartSegDataset(examples)

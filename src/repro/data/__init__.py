@@ -1,0 +1,74 @@
+"""``repro.data`` — tabular substrate: tables, corpus, aggregation, splits."""
+
+from .aggregation import (
+    AGGREGATION_OPERATORS,
+    ALL_OPERATORS,
+    IDENTITY_OPERATOR,
+    AggregationSpec,
+    aggregate_values,
+    aggregated_length,
+    operator_index,
+    sample_aggregation_spec,
+    window_bucket,
+)
+from .augmentation import (
+    AugmentationConfig,
+    augment_table,
+    down_sample_table,
+    partition_table,
+    reverse_table,
+)
+from .column import Column
+from .corpus import (
+    LINE_COUNT_BUCKETS,
+    LINE_COUNT_PROPORTIONS,
+    SHAPE_FAMILIES,
+    CorpusConfig,
+    CorpusRecord,
+    VisualizationSpec,
+    corpus_statistics,
+    generate_corpus,
+    generate_record,
+    line_count_bucket,
+    sample_num_lines,
+)
+from .repository import DataRepository
+from .split import CorpusSplit, SplitSizes, filter_line_chart_records, split_corpus
+from .table import DataSeries, Table, UnderlyingData
+
+__all__ = [
+    "AGGREGATION_OPERATORS",
+    "ALL_OPERATORS",
+    "IDENTITY_OPERATOR",
+    "AggregationSpec",
+    "AugmentationConfig",
+    "Column",
+    "CorpusConfig",
+    "CorpusRecord",
+    "CorpusSplit",
+    "DataRepository",
+    "DataSeries",
+    "LINE_COUNT_BUCKETS",
+    "LINE_COUNT_PROPORTIONS",
+    "SHAPE_FAMILIES",
+    "SplitSizes",
+    "Table",
+    "UnderlyingData",
+    "VisualizationSpec",
+    "aggregate_values",
+    "aggregated_length",
+    "augment_table",
+    "corpus_statistics",
+    "down_sample_table",
+    "filter_line_chart_records",
+    "generate_corpus",
+    "generate_record",
+    "line_count_bucket",
+    "operator_index",
+    "partition_table",
+    "reverse_table",
+    "sample_aggregation_spec",
+    "sample_num_lines",
+    "split_corpus",
+    "window_bucket",
+]

@@ -1,0 +1,163 @@
+"""Windowed data-aggregation operators (Sec. II and Sec. V).
+
+The paper considers four aggregation operators commonly used when plotting a
+column as a line chart: ``avg``, ``sum``, ``max`` and ``min``, each applied
+over non-overlapping windows of a chosen size.  Charts produced from
+aggregated data are the "DA-based queries" whose handling motivates the
+transformation/HMRL/MoE layers of the extended FCM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: Canonical operator order.  The index of an operator in this tuple is also
+#: the index of its transformation layer / MoE expert; the final entry
+#: ``"none"`` denotes the identity (non-aggregated) case.
+AGGREGATION_OPERATORS: Tuple[str, ...] = ("avg", "sum", "max", "min")
+IDENTITY_OPERATOR: str = "none"
+ALL_OPERATORS: Tuple[str, ...] = AGGREGATION_OPERATORS + (IDENTITY_OPERATOR,)
+
+_REDUCERS: Dict[str, Callable[[np.ndarray], float]] = {
+    "avg": np.mean,
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+}
+
+
+def operator_index(operator: str) -> int:
+    """Return the expert index of ``operator`` (``none`` maps to the last)."""
+    if operator == IDENTITY_OPERATOR:
+        return len(AGGREGATION_OPERATORS)
+    try:
+        return AGGREGATION_OPERATORS.index(operator)
+    except ValueError as exc:
+        raise ValueError(
+            f"unknown aggregation operator {operator!r}; "
+            f"expected one of {ALL_OPERATORS}"
+        ) from exc
+
+
+@dataclass(frozen=True)
+class AggregationSpec:
+    """A fully specified aggregation: operator plus window size.
+
+    ``operator == "none"`` (with any window) means no aggregation at all; the
+    underlying data equals the raw column.
+    """
+
+    operator: str
+    window: int = 1
+
+    def __post_init__(self) -> None:
+        if self.operator not in ALL_OPERATORS:
+            raise ValueError(
+                f"unknown aggregation operator {self.operator!r}; "
+                f"expected one of {ALL_OPERATORS}"
+            )
+        if self.window < 1:
+            raise ValueError("aggregation window must be >= 1")
+
+    @property
+    def is_identity(self) -> bool:
+        return self.operator == IDENTITY_OPERATOR or self.window == 1
+
+    @property
+    def expert_index(self) -> int:
+        """Index of the transformation-layer expert handling this spec."""
+        if self.is_identity:
+            return len(AGGREGATION_OPERATORS)
+        return operator_index(self.operator)
+
+    def describe(self) -> str:
+        if self.is_identity:
+            return "none"
+        return f"{self.operator}(window={self.window})"
+
+
+def aggregate_values(values: np.ndarray, spec: AggregationSpec) -> np.ndarray:
+    """Apply ``spec`` to a 1-D array using non-overlapping windows.
+
+    The trailing partial window (if any) is aggregated as well, matching how
+    plotting tools typically handle the remainder of a series.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError("aggregate_values expects a 1-D array")
+    if spec.is_identity:
+        return values.copy()
+    reducer = _REDUCERS[spec.operator]
+    window = spec.window
+    n_full = values.shape[0] // window
+    out: List[float] = []
+    if n_full:
+        blocks = values[: n_full * window].reshape(n_full, window)
+        if spec.operator == "avg":
+            out.extend(blocks.mean(axis=1).tolist())
+        elif spec.operator == "sum":
+            out.extend(blocks.sum(axis=1).tolist())
+        elif spec.operator == "max":
+            out.extend(blocks.max(axis=1).tolist())
+        else:
+            out.extend(blocks.min(axis=1).tolist())
+    remainder = values[n_full * window :]
+    if remainder.size:
+        out.append(float(reducer(remainder)))
+    if not out:
+        # window larger than the series: a single aggregate of everything.
+        out.append(float(reducer(values)))
+    return np.asarray(out, dtype=np.float64)
+
+
+def aggregated_length(num_rows: int, spec: AggregationSpec) -> int:
+    """Number of points produced by :func:`aggregate_values`."""
+    if spec.is_identity:
+        return num_rows
+    full, rem = divmod(num_rows, spec.window)
+    return max(full + (1 if rem else 0), 1)
+
+
+def sample_aggregation_spec(
+    num_rows: int,
+    rng: np.random.Generator,
+    operators: Tuple[str, ...] = AGGREGATION_OPERATORS,
+    max_window: Optional[int] = None,
+) -> AggregationSpec:
+    """Sample an operator and window as in the benchmark construction.
+
+    Sec. VII-A: "the aggregation window size is chosen uniformly at random
+    from the range min(100, NR/10)".  We additionally require the window to be
+    at least 2 so that the aggregation is not a no-op, and to leave at least
+    four aggregated points so a line shape still exists.
+    """
+    operator = str(rng.choice(list(operators)))
+    upper = int(min(100, max(num_rows // 10, 2)))
+    if max_window is not None:
+        upper = min(upper, max_window)
+    upper = max(upper, 2)
+    # Keep at least 4 aggregated points so a line shape still exists.
+    upper = min(upper, max(num_rows // 4, 2))
+    window = int(rng.integers(2, upper + 1))
+    return AggregationSpec(operator=operator, window=window)
+
+
+def window_bucket(window: int, edges: Tuple[int, ...] = (10, 40, 60, 80, 100)) -> str:
+    """Map a window size to the bucket labels used by Table IV.
+
+    The paper's buckets are ``0-10``, ``20-40``, ``40-60``, ``60-80`` and
+    ``80-100``; windows in the (unlabelled) 10-20 gap are folded into the
+    second bucket.
+    """
+    if window <= edges[0]:
+        return f"0-{edges[0]}"
+    if window <= edges[1]:
+        return f"20-{edges[1]}"
+    if window <= edges[2]:
+        return f"{edges[1]}-{edges[2]}"
+    if window <= edges[3]:
+        return f"{edges[2]}-{edges[3]}"
+    return f"{edges[3]}-{edges[4]}"

@@ -1,0 +1,260 @@
+"""Synthetic Plotly-like corpus generator.
+
+The paper builds its benchmark from the Plotly community feed: 2.3 million
+``(table, visualization specification)`` records.  That corpus is not
+available offline, so this module generates a synthetic stand-in with the
+properties the benchmark pipeline (Sec. VII-A) relies on:
+
+* each record pairs a numeric table with a visualization specification that
+  says which columns are plotted as lines (and optionally which column is the
+  x-axis);
+* tables contain a diverse mix of realistic series shapes (trends, seasonal
+  patterns, random walks, step changes, spikes, damped oscillations) so that
+  chart shapes are distinguishable and DTW-based relevance is meaningful;
+* the number of plotted lines ``M`` follows the bucket proportions reported
+  in Table I (1 line ≈ 36%, 2–4 ≈ 25%, 5–7 ≈ 21%, >7 ≈ 18%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .column import Column
+from .table import Table
+
+#: Bucket edges and target proportions matching Table I of the paper.
+LINE_COUNT_BUCKETS: Tuple[Tuple[int, int], ...] = ((1, 1), (2, 4), (5, 7), (8, 12))
+LINE_COUNT_PROPORTIONS: Tuple[float, ...] = (0.36, 0.25, 0.21, 0.18)
+
+
+@dataclass(frozen=True)
+class VisualizationSpec:
+    """A Plotly-style visualization specification for one record.
+
+    Attributes
+    ----------
+    table_id:
+        Identifier of the table being visualised.
+    y_columns:
+        Names of the columns plotted as lines (one line per column).
+    x_column:
+        Name of the x-axis column, or ``None`` when the x-axis is the
+        implicit row index.
+    chart_type:
+        Always ``"line"`` for records kept by the benchmark filter; the
+        corpus also emits a small share of non-line records so the filtering
+        step of Sec. VII-A has something to drop.
+    """
+
+    table_id: str
+    y_columns: Tuple[str, ...]
+    x_column: Optional[str] = None
+    chart_type: str = "line"
+
+    @property
+    def num_lines(self) -> int:
+        return len(self.y_columns)
+
+
+@dataclass
+class CorpusRecord:
+    """One ``(table, visualization specification)`` pair."""
+
+    table: Table
+    spec: VisualizationSpec
+
+
+@dataclass
+class CorpusConfig:
+    """Knobs controlling the synthetic corpus generator."""
+
+    num_records: int = 200
+    min_rows: int = 120
+    max_rows: int = 400
+    extra_columns_max: int = 2
+    non_line_fraction: float = 0.08
+    duplicate_fraction: float = 0.03
+    value_scale_choices: Sequence[float] = field(
+        default_factory=lambda: (1.0, 5.0, 10.0, 50.0, 100.0)
+    )
+    seed: int = 7
+
+
+#: Names of the shape families the generator can emit; useful in tests.
+SHAPE_FAMILIES: Tuple[str, ...] = (
+    "linear_trend",
+    "seasonal",
+    "random_walk",
+    "step",
+    "spike",
+    "damped_oscillation",
+    "logistic",
+    "noise",
+)
+
+
+def _generate_series(
+    family: str, num_rows: int, scale: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Generate one y-series of the requested shape family."""
+    t = np.linspace(0.0, 1.0, num_rows)
+    noise = rng.normal(0.0, 0.03, size=num_rows)
+    if family == "linear_trend":
+        slope = rng.uniform(-2.0, 2.0)
+        intercept = rng.uniform(-1.0, 1.0)
+        base = slope * t + intercept
+    elif family == "seasonal":
+        freq = rng.integers(2, 9)
+        phase = rng.uniform(0, 2 * np.pi)
+        trend = rng.uniform(-0.5, 0.5) * t
+        base = np.sin(2 * np.pi * freq * t + phase) + trend
+    elif family == "random_walk":
+        steps = rng.normal(0.0, 1.0, size=num_rows)
+        base = np.cumsum(steps) / np.sqrt(num_rows)
+    elif family == "step":
+        n_steps = rng.integers(2, 6)
+        positions = np.sort(rng.choice(np.arange(1, num_rows - 1), size=n_steps, replace=False))
+        levels = rng.uniform(-1.0, 1.0, size=n_steps + 1)
+        base = np.zeros(num_rows)
+        prev = 0
+        for i, pos in enumerate(list(positions) + [num_rows]):
+            base[prev:pos] = levels[i]
+            prev = pos
+    elif family == "spike":
+        base = rng.normal(0.0, 0.05, size=num_rows)
+        n_spikes = rng.integers(1, 5)
+        for _ in range(n_spikes):
+            center = rng.integers(5, num_rows - 5)
+            width = rng.integers(2, 8)
+            height = rng.uniform(0.5, 2.0) * rng.choice([-1.0, 1.0])
+            idx = np.arange(num_rows)
+            base += height * np.exp(-0.5 * ((idx - center) / width) ** 2)
+    elif family == "damped_oscillation":
+        freq = rng.integers(3, 12)
+        decay = rng.uniform(1.0, 4.0)
+        base = np.exp(-decay * t) * np.sin(2 * np.pi * freq * t)
+    elif family == "logistic":
+        midpoint = rng.uniform(0.3, 0.7)
+        steepness = rng.uniform(8.0, 20.0)
+        base = 1.0 / (1.0 + np.exp(-steepness * (t - midpoint)))
+    elif family == "noise":
+        base = rng.normal(0.0, 0.3, size=num_rows)
+    else:
+        raise ValueError(f"unknown shape family {family!r}")
+    offset = rng.uniform(-0.5, 0.5)
+    return scale * (base + noise + offset)
+
+
+def sample_num_lines(rng: np.random.Generator) -> int:
+    """Sample a line count following the Table I bucket proportions."""
+    bucket = rng.choice(len(LINE_COUNT_BUCKETS), p=np.asarray(LINE_COUNT_PROPORTIONS))
+    low, high = LINE_COUNT_BUCKETS[bucket]
+    return int(rng.integers(low, high + 1))
+
+
+def line_count_bucket(num_lines: int) -> str:
+    """Map a line count to the Table I bucket label."""
+    if num_lines <= 1:
+        return "1"
+    if num_lines <= 4:
+        return "2-4"
+    if num_lines <= 7:
+        return "5-7"
+    return ">7"
+
+
+def generate_record(
+    record_index: int,
+    config: CorpusConfig,
+    rng: np.random.Generator,
+) -> CorpusRecord:
+    """Generate one synthetic corpus record."""
+    num_rows = int(rng.integers(config.min_rows, config.max_rows + 1))
+    num_lines = sample_num_lines(rng)
+    scale = float(rng.choice(np.asarray(config.value_scale_choices)))
+    table_id = f"tbl_{record_index:05d}"
+
+    columns: List[Column] = []
+    # x-axis column is present half the time; otherwise the implicit index is used.
+    has_x = bool(rng.random() < 0.5)
+    if has_x:
+        columns.append(
+            Column("time", np.arange(num_rows, dtype=np.float64), role="x")
+        )
+
+    y_names: List[str] = []
+    # Give the lines of one chart a related but not identical character:
+    # choose a primary family and perturb it per line.
+    primary_family = str(rng.choice(np.asarray(SHAPE_FAMILIES)))
+    for line_idx in range(num_lines):
+        family = (
+            primary_family
+            if rng.random() < 0.6
+            else str(rng.choice(np.asarray(SHAPE_FAMILIES)))
+        )
+        name = f"y{line_idx}"
+        values = _generate_series(family, num_rows, scale, rng)
+        columns.append(Column(name, values, role="y"))
+        y_names.append(name)
+
+    # Distractor columns not referenced by the spec.
+    num_extra = int(rng.integers(0, config.extra_columns_max + 1))
+    for extra_idx in range(num_extra):
+        family = str(rng.choice(np.asarray(SHAPE_FAMILIES)))
+        values = _generate_series(family, num_rows, scale, rng)
+        columns.append(Column(f"extra{extra_idx}", values, role="y"))
+
+    chart_type = "line"
+    if rng.random() < config.non_line_fraction:
+        chart_type = str(rng.choice(np.asarray(["bar", "scatter", "pie"])))
+
+    table = Table(table_id, columns)
+    spec = VisualizationSpec(
+        table_id=table_id,
+        y_columns=tuple(y_names),
+        x_column="time" if has_x else None,
+        chart_type=chart_type,
+    )
+    return CorpusRecord(table=table, spec=spec)
+
+
+def generate_corpus(config: Optional[CorpusConfig] = None) -> List[CorpusRecord]:
+    """Generate a full synthetic corpus.
+
+    A small fraction of records are exact duplicates of earlier records
+    (different table id, same values) so the deduplication step of the
+    benchmark pipeline has real work to do.
+    """
+    config = config or CorpusConfig()
+    rng = np.random.default_rng(config.seed)
+    records: List[CorpusRecord] = []
+    for i in range(config.num_records):
+        if records and rng.random() < config.duplicate_fraction:
+            source = records[int(rng.integers(0, len(records)))]
+            dup_id = f"tbl_{i:05d}"
+            dup_table = Table(
+                dup_id,
+                [Column(c.name, c.values.copy(), role=c.role) for c in source.table.columns],
+            )
+            dup_spec = VisualizationSpec(
+                table_id=dup_id,
+                y_columns=source.spec.y_columns,
+                x_column=source.spec.x_column,
+                chart_type=source.spec.chart_type,
+            )
+            records.append(CorpusRecord(table=dup_table, spec=dup_spec))
+            continue
+        records.append(generate_record(i, config, rng))
+    return records
+
+
+def corpus_statistics(records: Sequence[CorpusRecord]) -> Dict[str, int]:
+    """Count records per line-count bucket (Table I style)."""
+    counts: Dict[str, int] = {"1": 0, "2-4": 0, "5-7": 0, ">7": 0}
+    for record in records:
+        counts[line_count_bucket(record.spec.num_lines)] += 1
+    counts["total"] = len(records)
+    return counts

@@ -1,0 +1,98 @@
+"""Train/validation/test splitting of corpus records (Sec. VII-A).
+
+The paper selects 3,000 training tables, 1,000 validation tables and 100
+query (test) tables from the filtered Plotly corpus.  This module performs
+the same style of split on the synthetic corpus, with sizes expressed either
+as absolute counts or fractions so that small corpora used in tests work too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .corpus import CorpusRecord
+
+
+@dataclass
+class SplitSizes:
+    """Requested sizes for each split.
+
+    Values may be integers (absolute counts) or floats in ``(0, 1)``
+    (fractions of the filtered corpus).  Whatever is left after carving out
+    train and validation goes to the test/query pool, unless ``test`` is set.
+    """
+
+    train: float = 0.6
+    validation: float = 0.2
+    test: Optional[float] = None
+
+
+@dataclass
+class CorpusSplit:
+    """The result of splitting: three disjoint lists of records."""
+
+    train: List[CorpusRecord]
+    validation: List[CorpusRecord]
+    test: List[CorpusRecord]
+
+    def __post_init__(self) -> None:
+        ids = [r.table.table_id for part in (self.train, self.validation, self.test) for r in part]
+        if len(ids) != len(set(ids)):
+            raise ValueError("corpus split contains duplicated table ids across parts")
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return len(self.train), len(self.validation), len(self.test)
+
+
+def _resolve(size: float, total: int) -> int:
+    if isinstance(size, float) and 0 < size < 1:
+        return int(round(size * total))
+    return int(size)
+
+
+def filter_line_chart_records(records: Sequence[CorpusRecord]) -> List[CorpusRecord]:
+    """Keep only records whose visualization is a line chart (Sec. VII-A)."""
+    return [r for r in records if r.spec.chart_type == "line"]
+
+
+def split_corpus(
+    records: Sequence[CorpusRecord],
+    sizes: Optional[SplitSizes] = None,
+    seed: int = 13,
+) -> CorpusSplit:
+    """Shuffle and split ``records`` into train/validation/test parts.
+
+    Raises
+    ------
+    ValueError
+        If the requested sizes exceed the number of records.
+    """
+    sizes = sizes or SplitSizes()
+    records = list(records)
+    total = len(records)
+    n_train = _resolve(sizes.train, total)
+    n_val = _resolve(sizes.validation, total)
+    if sizes.test is None:
+        n_test = total - n_train - n_val
+    else:
+        n_test = _resolve(sizes.test, total)
+    if n_train < 0 or n_val < 0 or n_test < 0:
+        raise ValueError("split sizes must be non-negative")
+    if n_train + n_val + n_test > total:
+        raise ValueError(
+            f"split sizes ({n_train}+{n_val}+{n_test}) exceed corpus size {total}"
+        )
+    if n_test == 0:
+        raise ValueError("test split must contain at least one record")
+
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(total)
+    shuffled = [records[i] for i in order]
+    train = shuffled[:n_train]
+    validation = shuffled[n_train : n_train + n_val]
+    test = shuffled[n_train + n_val : n_train + n_val + n_test]
+    return CorpusSplit(train=train, validation=validation, test=test)

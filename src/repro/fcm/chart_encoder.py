@@ -1,0 +1,74 @@
+"""Segment-level line chart encoder (Sec. IV-B).
+
+Each line of the chart is a greyscale image that is divided into ``N1``
+segment images of width ``P1``.  Every segment image is flattened and mapped
+to a ``K``-dimensional embedding by a trainable linear projection, positional
+embeddings are added, and a transformer encoder (Eq. 1) contextualises the
+segment sequence.  The output for a chart with ``M`` lines is
+``E_V ∈ R^{M×N1×K}``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor, TransformerEncoder
+from .config import FCMConfig
+
+
+class SegmentLineChartEncoder(Module):
+    """ViT-style encoder over line-segment images."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.patch_projection = Linear(
+            config.chart_segment_feature_dim, config.embed_dim, rng=rng
+        )
+        self.encoder = TransformerEncoder(
+            embed_dim=config.embed_dim,
+            num_heads=config.num_heads,
+            num_layers=config.num_layers,
+            mlp_ratio=config.mlp_ratio,
+            dropout=config.dropout,
+            max_positions=config.max_chart_segments,
+            rng=rng,
+        )
+
+    def encode_line(self, segment_features: np.ndarray) -> Tensor:
+        """Encode one line's ``(N1, F1)`` segment features into ``(N1, K)``."""
+        features = np.asarray(segment_features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(
+                f"expected (N1, F1) segment features, got shape {features.shape}"
+            )
+        embedded = self.patch_projection(Tensor(features))
+        return self.encoder(embedded)
+
+    def forward(self, chart_segment_features: np.ndarray) -> Tensor:
+        """Encode a whole chart.
+
+        Parameters
+        ----------
+        chart_segment_features:
+            Array of shape ``(M, N1, F1)`` from
+            :func:`repro.fcm.preprocessing.prepare_chart_input`.
+
+        Returns
+        -------
+        Tensor
+            ``E_V`` of shape ``(M, N1, K)``.
+        """
+        features = np.asarray(chart_segment_features, dtype=np.float64)
+        if features.ndim != 3:
+            raise ValueError(
+                f"expected (M, N1, F1) chart features, got shape {features.shape}"
+            )
+        # All lines are encoded in one batched transformer call: the attention
+        # blocks treat the leading axis as a batch dimension, so lines do not
+        # attend to each other (matching the per-line encoding of Sec. IV-B)
+        # while the Python-level op count stays independent of M.
+        embedded = self.patch_projection(Tensor(features))
+        return self.encoder(embedded)

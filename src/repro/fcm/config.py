@@ -1,0 +1,146 @@
+"""Configuration for the FCM model and its training.
+
+The paper's configuration (Sec. VII-B) uses a 768-dimensional, 12-layer,
+8-head transformer, line-segment width ``P1 = 60`` and data-segment size
+``P2 = 64``.  The defaults here keep the architectural choices (pre-norm
+transformer encoders, P1/P2, the DA layers, the HCMAN matcher) but shrink the
+embedding size and depth so the full experiment suite trains on a CPU; the
+paper-scale settings remain expressible through the same dataclass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from ..charts.spec import ChartSpec
+
+
+@dataclass
+class FCMConfig:
+    """Hyper-parameters of FCM (model architecture + preprocessing).
+
+    Attributes
+    ----------
+    embed_dim:
+        Embedding size ``K``.
+    num_heads, num_layers, mlp_ratio, dropout:
+        Transformer-encoder settings shared by the chart and dataset encoders.
+    line_segment_width:
+        ``P1``: pixel width of each line-segment image (Sec. IV-B).
+    image_pool:
+        Average-pooling factor applied to line-segment images before the
+        linear projection (a CPU-friendliness substitution; 1 disables it).
+    data_segment_size:
+        ``P2``: number of data points per column segment (Sec. IV-C).
+    max_chart_segments, max_data_segments:
+        Upper bounds on the number of segments (positional-embedding capacity
+        and a cost cap for very long columns).
+    beta:
+        DA pre-processing sub-segment exponent: each data segment is split
+        into ``2**beta`` sub-segments before the HMRL tree (Sec. V-A).
+    enable_da_layers:
+        Include the transformation/HMRL/MoE layers (the FCM-DA ablation of
+        Table VI turns this off).
+    use_hcman:
+        Use the hierarchical cross-modal attention matcher; when false the
+        model averages segment representations and concatenates them into an
+        MLP (the FCM-HCMAN ablation of Table V).
+    column_filter_tolerance:
+        Relative tolerance of the y-tick based column filter (Sec. IV-C).
+    normalize_columns:
+        Whether column segments are z-normalised per column before encoding.
+    chart_spec:
+        Geometry of the rendered charts; needed to derive feature sizes.
+    seed:
+        Seed for parameter initialisation.
+    """
+
+    embed_dim: int = 32
+    num_heads: int = 2
+    num_layers: int = 2
+    mlp_ratio: float = 2.0
+    dropout: float = 0.0
+
+    line_segment_width: int = 60
+    image_pool: int = 4
+    data_segment_size: int = 64
+    max_chart_segments: int = 16
+    max_data_segments: int = 8
+
+    beta: int = 3
+    enable_da_layers: bool = True
+    use_hcman: bool = True
+
+    column_filter_tolerance: float = 0.25
+    normalize_columns: bool = True
+
+    chart_spec: ChartSpec = field(default_factory=ChartSpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.embed_dim % self.num_heads != 0:
+            raise ValueError("embed_dim must be divisible by num_heads")
+        if self.line_segment_width <= 0 or self.data_segment_size <= 0:
+            raise ValueError("segment sizes must be positive")
+        if self.image_pool < 1:
+            raise ValueError("image_pool must be >= 1")
+        if self.beta < 1:
+            raise ValueError("beta must be >= 1")
+        if self.data_segment_size % (2 ** self.beta) != 0:
+            raise ValueError(
+                f"data_segment_size ({self.data_segment_size}) must be divisible by "
+                f"2**beta ({2 ** self.beta}) so sub-segments have equal size"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def num_chart_segments(self) -> int:
+        """``N1``: segments per line given the plot width and ``P1``."""
+        n1 = max(self.chart_spec.plot_width // self.line_segment_width, 1)
+        return min(n1, self.max_chart_segments)
+
+    @property
+    def pooled_segment_height(self) -> int:
+        return max(self.chart_spec.plot_height // self.image_pool, 1)
+
+    @property
+    def pooled_segment_width(self) -> int:
+        return max(self.line_segment_width // self.image_pool, 1)
+
+    @property
+    def chart_segment_feature_dim(self) -> int:
+        """Flattened feature size of one pooled line-segment image."""
+        return self.pooled_segment_height * self.pooled_segment_width
+
+    @property
+    def sub_segment_size(self) -> int:
+        """Length of one HMRL leaf sub-segment."""
+        return self.data_segment_size // (2 ** self.beta)
+
+    @property
+    def num_experts(self) -> int:
+        """Four aggregation operators plus the identity expert (Sec. V-B)."""
+        return 5
+
+    def with_overrides(self, **kwargs) -> "FCMConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def paper_scale_config() -> FCMConfig:
+    """The configuration reported in Sec. VII-B of the paper.
+
+    Provided for completeness/documentation; training it requires far more
+    compute than this reproduction environment offers.
+    """
+    return FCMConfig(
+        embed_dim=768,
+        num_heads=8,
+        num_layers=12,
+        line_segment_width=60,
+        data_segment_size=64,
+        image_pool=1,
+    )

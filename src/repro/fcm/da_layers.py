@@ -1,0 +1,190 @@
+"""Data-aggregation layers of the extended FCM (Sec. V).
+
+Three layers are added to the dataset encoder so that charts rendered from
+*aggregated* data can still be matched against the original tables:
+
+* :class:`TransformationLayer` — one two-layer MLP per aggregation operator
+  (avg, sum, max, min) plus one for the identity (non-aggregated) case; each
+  learns how its operator transforms raw data (Sec. V-B).
+* :class:`HierarchicalMultiScaleLayer` (HMRL) — a binary tree over the
+  ``2**beta`` sub-segments of a data segment.  Parents combine their children
+  with an MLP, so the root mixes information from window sizes
+  ``sub_segment_size, 2·sub_segment_size, …, P2`` (Sec. V-C).
+* :class:`MixtureOfExpertsLayer` — a gating network that infers which
+  aggregation operator (expert) most likely produced the chart and blends the
+  experts' root representations accordingly (Sec. V-D).
+
+:class:`DataAggregationEncoder` wires the three together: it turns the raw
+``(N2, P2)`` segments of one column into ``(N2, K)`` segment embeddings that
+replace the plain linear projection of the base dataset encoder.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..data.aggregation import ALL_OPERATORS
+from ..nn import MLP, Linear, Module, ModuleList, Tensor, concatenate, stack
+from .config import FCMConfig
+
+
+class TransformationLayer(Module):
+    """Two-layer MLP modelling one aggregation operator's transformation."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator, operator: str) -> None:
+        super().__init__()
+        self.operator = operator
+        hidden = max(config.embed_dim, config.sub_segment_size)
+        self.mlp = MLP(
+            in_features=config.sub_segment_size,
+            hidden_features=[hidden],
+            out_features=config.embed_dim,
+            activation="relu",
+            rng=rng,
+        )
+
+    def forward(self, sub_segments: Tensor) -> Tensor:
+        """Map ``(..., sub_segment_size)`` values to ``(..., K)`` embeddings."""
+        return self.mlp(sub_segments)
+
+
+class HierarchicalMultiScaleLayer(Module):
+    """HMRL: combine ``2**beta`` leaf embeddings up a binary tree.
+
+    Every internal node applies a shared-per-level MLP to the concatenation
+    of its two children, so the root representation integrates information
+    from every scale between the leaf sub-segment and the full segment.
+    """
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.beta = config.beta
+        self.combiners = ModuleList(
+            [
+                MLP(
+                    in_features=2 * config.embed_dim,
+                    hidden_features=[config.embed_dim],
+                    out_features=config.embed_dim,
+                    activation="relu",
+                    rng=rng,
+                )
+                for _ in range(config.beta)
+            ]
+        )
+
+    def forward(self, leaves: Tensor) -> Tensor:
+        """Reduce ``(..., 2**beta, K)`` leaf embeddings to ``(..., K)`` roots."""
+        current = leaves
+        num_nodes = current.shape[-2]
+        if num_nodes != 2 ** self.beta:
+            raise ValueError(
+                f"expected {2 ** self.beta} leaves, got {num_nodes}"
+            )
+        for level in range(self.beta):
+            count = current.shape[-2]
+            left = current[..., 0:count:2, :]
+            right = current[..., 1:count:2, :]
+            paired = concatenate([left, right], axis=-1)
+            current = self.combiners[level](paired)
+        # A single node remains along the tree axis; drop that axis.
+        return current.squeeze(axis=-2)
+
+
+class MixtureOfExpertsLayer(Module):
+    """Gating over the per-operator experts (Sec. V-D).
+
+    The gate for expert ``i`` scores that expert's own root representation
+    with two fully connected layers (LeakyReLU between them); a softmax over
+    the expert scores yields the blending weights.
+    """
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.num_experts = config.num_experts
+        self.gate_hidden = ModuleList(
+            [Linear(config.embed_dim, config.embed_dim, rng=rng) for _ in range(self.num_experts)]
+        )
+        self.gate_out = ModuleList(
+            [Linear(config.embed_dim, 1, rng=rng) for _ in range(self.num_experts)]
+        )
+
+    def gate_scores(self, expert_roots: Tensor) -> Tensor:
+        """Softmax gate weights, shape ``(..., num_experts)``.
+
+        ``expert_roots`` has shape ``(num_experts, ..., K)`` (expert axis
+        first).
+        """
+        scores: List[Tensor] = []
+        for i in range(self.num_experts):
+            hidden = self.gate_hidden[i](expert_roots[i]).leaky_relu()
+            scores.append(self.gate_out[i](hidden).squeeze(axis=-1))
+        stacked = stack(scores, axis=-1)
+        return stacked.softmax(axis=-1)
+
+    def forward(self, expert_roots: Tensor) -> Tuple[Tensor, Tensor]:
+        """Blend expert roots into the final representation.
+
+        Parameters
+        ----------
+        expert_roots:
+            Tensor of shape ``(num_experts, ..., K)``.
+
+        Returns
+        -------
+        (blended, gates):
+            ``blended`` has shape ``(..., K)``; ``gates`` has shape
+            ``(..., num_experts)`` and sums to one over the last axis.
+        """
+        gates = self.gate_scores(expert_roots)
+        blended = None
+        for i in range(self.num_experts):
+            weight = gates[..., i].expand_dims(-1)
+            contribution = expert_roots[i] * weight
+            blended = contribution if blended is None else blended + contribution
+        return blended, gates
+
+
+class DataAggregationEncoder(Module):
+    """Full DA pipeline: raw segments → MoE-blended segment embeddings."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.config = config
+        self.transformations = ModuleList(
+            [TransformationLayer(config, rng, operator) for operator in ALL_OPERATORS]
+        )
+        self.hmrl = HierarchicalMultiScaleLayer(config, rng)
+        self.moe = MixtureOfExpertsLayer(config, rng)
+
+    def forward(self, segments: np.ndarray, return_gates: bool = False):
+        """Encode data segments of shape ``(..., P2)``.
+
+        The leading axes are arbitrary (e.g. ``(N2,)`` for one column or
+        ``(NC, N2)`` for a whole table); the output replaces the trailing
+        ``P2`` axis by ``K`` — i.e. ``(..., K)`` segment embeddings (and
+        optionally the MoE gate weights of shape ``(..., num_experts)``).
+        """
+        segments = np.asarray(segments, dtype=np.float64)
+        if segments.ndim < 2 or segments.shape[-1] != self.config.data_segment_size:
+            raise ValueError(
+                f"expected (..., {self.config.data_segment_size}) segments, "
+                f"got shape {segments.shape}"
+            )
+        num_leaves = 2 ** self.config.beta
+        sub_segments = segments.reshape(
+            *segments.shape[:-1], num_leaves, self.config.sub_segment_size
+        )
+        sub_tensor = Tensor(sub_segments)
+
+        expert_roots: List[Tensor] = []
+        for transformation in self.transformations:
+            leaves = transformation(sub_tensor)  # (..., 2**beta, K)
+            roots = self.hmrl(leaves)  # (..., K)
+            expert_roots.append(roots)
+        stacked = stack(expert_roots, axis=0)  # (num_experts, ..., K)
+        blended, gates = self.moe(stacked)
+        if return_gates:
+            return blended, gates
+        return blended

@@ -1,0 +1,216 @@
+"""Cross-modal matcher: HCMAN and the averaged ablation variant (Sec. IV-D).
+
+The hierarchical cross-modal attention network (HCMAN) aligns the chart and
+the table at two levels:
+
+* **SL-SAN (segment level)** — every line segment is scored against every
+  data segment with a scaled dot-product similarity between learned query and
+  key projections; each line (column) is then reconstructed as the
+  relevance-weighted sum of its own segments, where a segment's relevance is
+  its best match on the other side.
+* **LL-SAN (line-to-column level)** — the reconstructed line and column
+  representations are scored against each other the same way, yielding
+  relevance-weighted chart-level and table-level representations.
+
+The two reconstructed representations — together with their element-wise
+product, absolute difference and cosine similarity (standard interaction
+features for matching networks, which give the head a direct gradient path to
+"similar representations ⇒ high relevance") — are passed through an MLP with
+a sigmoid head to produce ``Rel'(V, T) ∈ [0, 1]``.
+
+:class:`AveragedMatcher` is the FCM−HCMAN ablation of Table V: all segment
+and line/column representations are averaged (no attention) before the same
+interaction head, so the two variants differ only in the fine-grained
+attention-based reconstruction the paper ablates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..nn import MLP, Linear, Module, Tensor, concatenate
+from .config import FCMConfig
+
+
+def _scaled_similarity(queries: Tensor, keys: Tensor) -> Tensor:
+    """Scaled dot-product similarity matrix ``(num_q, num_k)``."""
+    dim = queries.shape[-1]
+    return queries.matmul(keys.swapaxes(-1, -2)) * (1.0 / np.sqrt(dim))
+
+
+class InteractionHead(Module):
+    """MLP head over chart/table interaction features.
+
+    The input is ``[v_chart, v_table, v_chart ⊙ v_table, |v_chart − v_table|,
+    cos(v_chart, v_table), extra...]``, giving the head both the raw
+    representations and explicit match evidence.  ``num_extra_features``
+    reserves room for additional scalar evidence (the HCMAN matcher feeds the
+    segment-level and line-level cross-modal similarities in here).
+    """
+
+    def __init__(
+        self,
+        config: FCMConfig,
+        rng: np.random.Generator,
+        num_extra_features: int = 0,
+    ) -> None:
+        super().__init__()
+        self.num_extra_features = num_extra_features
+        self.mlp = MLP(
+            in_features=4 * config.embed_dim + 1 + num_extra_features,
+            hidden_features=[config.embed_dim],
+            out_features=1,
+            activation="relu",
+            rng=rng,
+        )
+
+    def forward(
+        self,
+        chart_vec: Tensor,
+        table_vec: Tensor,
+        extra: Optional[Tensor] = None,
+    ) -> Tensor:
+        product = chart_vec * table_vec
+        difference = (chart_vec - table_vec).abs()
+        chart_norm = ((chart_vec * chart_vec).sum() + 1e-8) ** 0.5
+        table_norm = ((table_vec * table_vec).sum() + 1e-8) ** 0.5
+        cosine = (chart_vec * table_vec).sum() / (chart_norm * table_norm)
+        parts = [chart_vec, table_vec, product, difference, cosine.reshape(1)]
+        if self.num_extra_features:
+            if extra is None:
+                raise ValueError(
+                    f"head expects {self.num_extra_features} extra features"
+                )
+            parts.append(extra.reshape(self.num_extra_features))
+        joint = concatenate(parts, axis=0)
+        return self.mlp(joint).sigmoid().squeeze()
+
+
+class SegmentLevelAttention(Module):
+    """SL-SAN: reconstruct each line/column from its best-matching segments."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        dim = config.embed_dim
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+
+    def forward(
+        self, chart_repr: Tensor, table_repr: Tensor
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reconstruct line and column representations.
+
+        Parameters
+        ----------
+        chart_repr:
+            ``E_V`` of shape ``(M, N1, K)``.
+        table_repr:
+            ``E_T`` of shape ``(NC, N2, K)``.
+
+        Returns
+        -------
+        (lines, columns, evidence):
+            ``lines`` of shape ``(M, K)``, ``columns`` of shape ``(NC, K)``
+            and ``evidence`` — two scalars summarising the segment-level
+            cross-modal similarity in each direction.
+        """
+        m, n1, dim = chart_repr.shape
+        nc, n2, _ = table_repr.shape
+        chart_flat = chart_repr.reshape(m * n1, dim)
+        table_flat = table_repr.reshape(nc * n2, dim)
+
+        # Cross-modal segment similarities (shared projections both ways).
+        sim = _scaled_similarity(self.query_proj(chart_flat), self.key_proj(table_flat))
+        sim_chart = sim.reshape(m, n1, nc * n2)
+        sim_table = sim.swapaxes(0, 1).reshape(nc, n2, m * n1)
+
+        # A segment's relevance is its best cross-modal match.
+        chart_scores = sim_chart.max(axis=-1)  # (M, N1)
+        table_scores = sim_table.max(axis=-1)  # (NC, N2)
+
+        chart_weights = chart_scores.softmax(axis=-1).expand_dims(-1)  # (M, N1, 1)
+        table_weights = table_scores.softmax(axis=-1).expand_dims(-1)  # (NC, N2, 1)
+
+        chart_values = self.value_proj(chart_repr)
+        table_values = self.value_proj(table_repr)
+        lines = (chart_values * chart_weights).sum(axis=1)  # (M, K)
+        columns = (table_values * table_weights).sum(axis=1)  # (NC, K)
+        # Summary of the segment-level match evidence, fed to the head.
+        evidence = concatenate(
+            [chart_scores.mean().reshape(1), table_scores.mean().reshape(1)], axis=0
+        )
+        return lines, columns, evidence
+
+
+class LineColumnAttention(Module):
+    """LL-SAN: reconstruct the chart and table from their best lines/columns."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        dim = config.embed_dim
+        self.query_proj = Linear(dim, dim, rng=rng)
+        self.key_proj = Linear(dim, dim, rng=rng)
+        self.value_proj = Linear(dim, dim, rng=rng)
+
+    def forward(
+        self, lines: Tensor, columns: Tensor
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reduce ``(M, K)`` lines and ``(NC, K)`` columns to two vectors.
+
+        Also returns two scalars summarising the line-to-column similarity in
+        each direction (how well each line is covered by some column, and
+        vice versa), which the head uses as explicit match evidence.
+        """
+        sim = _scaled_similarity(self.query_proj(lines), self.key_proj(columns))  # (M, NC)
+
+        line_scores = sim.max(axis=-1)  # (M,)
+        column_scores = sim.swapaxes(0, 1).max(axis=-1)  # (NC,)
+
+        line_weights = line_scores.softmax(axis=-1).expand_dims(-1)
+        column_weights = column_scores.softmax(axis=-1).expand_dims(-1)
+
+        chart_vec = (self.value_proj(lines) * line_weights).sum(axis=0)  # (K,)
+        table_vec = (self.value_proj(columns) * column_weights).sum(axis=0)  # (K,)
+        evidence = concatenate(
+            [line_scores.mean().reshape(1), column_scores.mean().reshape(1)], axis=0
+        )
+        return chart_vec, table_vec, evidence
+
+
+class HCMANMatcher(Module):
+    """The full hierarchical cross-modal attention matcher."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.segment_level = SegmentLevelAttention(config, rng)
+        self.line_level = LineColumnAttention(config, rng)
+        self.head = InteractionHead(config, rng, num_extra_features=4)
+
+    def forward(self, chart_repr: Tensor, table_repr: Tensor) -> Tensor:
+        lines, columns, segment_evidence = self.segment_level(chart_repr, table_repr)
+        chart_vec, table_vec, line_evidence = self.line_level(lines, columns)
+        evidence = concatenate([segment_evidence, line_evidence], axis=0)
+        return self.head(chart_vec, table_vec, extra=evidence)
+
+
+class AveragedMatcher(Module):
+    """FCM−HCMAN ablation: mean-pool everything, then the same interaction head."""
+
+    def __init__(self, config: FCMConfig, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.head = InteractionHead(config, rng)
+
+    def forward(self, chart_repr: Tensor, table_repr: Tensor) -> Tensor:
+        chart_vec = chart_repr.mean(axis=(0, 1))
+        table_vec = table_repr.mean(axis=(0, 1))
+        return self.head(chart_vec, table_vec)
+
+
+def build_matcher(config: FCMConfig, rng: np.random.Generator) -> Module:
+    """Select the matcher according to ``config.use_hcman``."""
+    if config.use_hcman:
+        return HCMANMatcher(config, rng)
+    return AveragedMatcher(config, rng)

@@ -1,0 +1,73 @@
+"""The FCM model: encoders + matcher producing ``Rel'(V, T)``.
+
+The model composes the segment-level line chart encoder (Sec. IV-B), the
+segment-level dataset encoder (Sec. IV-C, optionally with the DA layers of
+Sec. V) and the cross-modal matcher (Sec. IV-D).  Its two ablations are
+selected through :class:`~repro.fcm.config.FCMConfig`:
+
+* ``use_hcman=False`` — FCM−HCMAN (Table V);
+* ``enable_da_layers=False`` — FCM−DA (Table VI).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Module, Tensor
+from .chart_encoder import SegmentLineChartEncoder
+from .config import FCMConfig
+from .dataset_encoder import SegmentDatasetEncoder
+from .matcher import build_matcher
+from .preprocessing import ChartInput, TableInput
+
+
+class FCMModel(Module):
+    """Fine-grained Cross-modal Relevance Learning Model."""
+
+    def __init__(self, config: Optional[FCMConfig] = None) -> None:
+        super().__init__()
+        self.config = config or FCMConfig()
+        rng = np.random.default_rng(self.config.seed)
+        self.chart_encoder = SegmentLineChartEncoder(self.config, rng)
+        self.dataset_encoder = SegmentDatasetEncoder(self.config, rng)
+        self.matcher = build_matcher(self.config, rng)
+
+    # ------------------------------------------------------------------ #
+    # Differentiable building blocks
+    # ------------------------------------------------------------------ #
+    def encode_chart(self, chart_input: ChartInput) -> Tensor:
+        """``E_V`` of shape ``(M, N1, K)``."""
+        return self.chart_encoder(chart_input.segment_features)
+
+    def encode_table(self, table_input: TableInput) -> Tensor:
+        """``E_T`` of shape ``(NC, N2, K)``."""
+        if table_input.is_empty:
+            raise ValueError(
+                f"table {table_input.table_id!r} has no columns to encode"
+            )
+        return self.dataset_encoder(table_input.segments)
+
+    def match(self, chart_repr: Tensor, table_repr: Tensor) -> Tensor:
+        """``Rel'(V, T)`` as a scalar tensor in ``[0, 1]``."""
+        return self.matcher(chart_repr, table_repr)
+
+    def forward(self, chart_input: ChartInput, table_input: TableInput) -> Tensor:
+        return self.match(self.encode_chart(chart_input), self.encode_table(table_input))
+
+    # ------------------------------------------------------------------ #
+    # Inference helpers (no gradient bookkeeping needed by callers)
+    # ------------------------------------------------------------------ #
+    def relevance(self, chart_input: ChartInput, table_input: TableInput) -> float:
+        """Scalar relevance score for one (chart, table) pair."""
+        return float(self.forward(chart_input, table_input).item())
+
+    def column_embeddings(self, table_input: TableInput) -> np.ndarray:
+        """Column-level embeddings for the LSH index, shape ``(NC, K)``."""
+        return self.dataset_encoder.column_embeddings(table_input.segments)
+
+    def line_embeddings(self, chart_input: ChartInput) -> np.ndarray:
+        """Line-level embeddings (mean over segments), shape ``(M, K)``."""
+        encoded = self.encode_chart(chart_input)
+        return encoded.numpy().mean(axis=1)

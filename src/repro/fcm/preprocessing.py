@@ -1,0 +1,229 @@
+"""Preprocessing: charts and tables → fixed-shape numeric model inputs.
+
+The encoders of FCM consume:
+
+* **chart input** — for every line of the chart, the sequence of ``N1``
+  line-segment images (greyscale crops of width ``P1``), pooled and flattened
+  into feature vectors (Sec. IV-B);
+* **table input** — for every (surviving) column of the candidate table, the
+  sequence of ``N2`` data segments of ``P2`` values each (Sec. IV-C).  The
+  y-tick range extracted from the chart filters out columns whose values
+  cannot plausibly have produced the chart.
+
+Both are plain NumPy arrays so they can be cached and reused across training
+epochs and across queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart
+from ..data.table import Table
+from ..vision.elements import VisualElements
+from .config import FCMConfig
+
+
+@dataclass
+class ChartInput:
+    """Model-ready features of one line chart query.
+
+    Attributes
+    ----------
+    segment_features:
+        Array of shape ``(M, N1, F1)``: per line, per segment, the pooled and
+        flattened segment image.
+    y_range:
+        The y-axis value range extracted from the ticks.
+    num_lines:
+        ``M``.
+    """
+
+    segment_features: np.ndarray
+    y_range: Tuple[float, float]
+
+    @property
+    def num_lines(self) -> int:
+        return int(self.segment_features.shape[0])
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.segment_features.shape[1])
+
+
+@dataclass
+class TableInput:
+    """Model-ready segments of one candidate table.
+
+    Attributes
+    ----------
+    segments:
+        Array of shape ``(NC', N2, P2)`` holding the (resampled, optionally
+        z-normalised) data segments of the surviving columns.
+    column_names:
+        Names of the surviving columns, aligned with the first axis.
+    table_id:
+        Source table id.
+    """
+
+    segments: np.ndarray
+    column_names: List[str]
+    table_id: str
+
+    @property
+    def num_columns(self) -> int:
+        return int(self.segments.shape[0])
+
+    @property
+    def is_empty(self) -> bool:
+        return self.num_columns == 0
+
+
+# --------------------------------------------------------------------------- #
+# Chart preprocessing
+# --------------------------------------------------------------------------- #
+def _pool2d(image: np.ndarray, factor: int) -> np.ndarray:
+    """Average-pool ``image`` by ``factor`` in both dimensions (crop remainder)."""
+    if factor == 1:
+        return image
+    height, width = image.shape
+    new_h, new_w = height // factor, width // factor
+    if new_h == 0 or new_w == 0:
+        return image
+    cropped = image[: new_h * factor, : new_w * factor]
+    return cropped.reshape(new_h, factor, new_w, factor).mean(axis=(1, 3))
+
+
+def line_segment_features(
+    line_image: np.ndarray, config: FCMConfig
+) -> np.ndarray:
+    """Split a single line image into pooled, flattened segment features.
+
+    Parameters
+    ----------
+    line_image:
+        Full-size chart image containing only one line's pixels (values in
+        ``[0, 1]``); typically a boolean instance mask cast to float.
+    """
+    spec = config.chart_spec
+    plot = line_image[spec.plot_top : spec.plot_bottom, spec.plot_left : spec.plot_right]
+    n1 = config.num_chart_segments
+    p1 = config.line_segment_width
+    features = np.zeros((n1, config.chart_segment_feature_dim))
+    for seg_idx in range(n1):
+        left = seg_idx * p1
+        right = min(left + p1, plot.shape[1])
+        segment = np.zeros((plot.shape[0], p1))
+        segment[:, : right - left] = plot[:, left:right]
+        pooled = _pool2d(segment, config.image_pool)
+        flat = pooled.ravel()
+        features[seg_idx, : flat.shape[0]] = flat[: config.chart_segment_feature_dim]
+    return features
+
+
+def prepare_chart_input(
+    chart: LineChart,
+    elements: VisualElements,
+    config: FCMConfig,
+) -> ChartInput:
+    """Build the chart encoder's input from extracted visual elements.
+
+    The pooled segment images are standardised over the whole chart (zero
+    mean, unit variance) so the linear projection of the chart encoder sees
+    inputs on the same scale as the (z-normalised) data segments of the
+    dataset encoder — sparse binary masks would otherwise produce activations
+    orders of magnitude smaller than the table side.
+    """
+    if elements.num_lines == 0:
+        raise ValueError("cannot encode a chart with no extracted lines")
+    per_line = [
+        line_segment_features(line.mask.astype(np.float64), config)
+        for line in elements.lines
+    ]
+    features = np.stack(per_line)
+    std = features.std()
+    if std > 1e-8:
+        features = (features - features.mean()) / std
+    return ChartInput(
+        segment_features=features,
+        y_range=elements.y_range,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table preprocessing
+# --------------------------------------------------------------------------- #
+def resample_series(values: np.ndarray, target_length: int) -> np.ndarray:
+    """Resample a series to ``target_length`` points by linear interpolation."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.shape[0] == target_length:
+        return values.copy()
+    src = np.linspace(0.0, 1.0, values.shape[0])
+    dst = np.linspace(0.0, 1.0, target_length)
+    return np.interp(dst, src, values)
+
+
+def column_segments(values: np.ndarray, config: FCMConfig) -> np.ndarray:
+    """Split a column into ``(N2, P2)`` segments after resampling.
+
+    ``N2`` is the number of ``P2``-sized segments needed to cover the column,
+    capped at ``max_data_segments``; the column is linearly resampled to
+    exactly ``N2 * P2`` points so all segments are full.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    p2 = config.data_segment_size
+    n2 = int(np.ceil(values.shape[0] / p2))
+    n2 = int(np.clip(n2, 1, config.max_data_segments))
+    resampled = resample_series(values, n2 * p2)
+    if config.normalize_columns:
+        std = resampled.std()
+        if std > 1e-8:
+            resampled = (resampled - resampled.mean()) / std
+        else:
+            resampled = resampled - resampled.mean()
+    return resampled.reshape(n2, p2)
+
+
+def prepare_table_input(
+    table: Table,
+    config: FCMConfig,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> TableInput:
+    """Build the dataset encoder's input for one candidate table.
+
+    When ``y_range`` is given, columns whose value range cannot overlap the
+    chart's y-axis range (within the configured tolerance) are dropped, which
+    is the y-tick filtering step of Sec. IV-C.  If the filter removes every
+    column, all columns are kept — an empty encoding would make the table
+    unscorable, whereas the paper's filter is only a pruning heuristic.
+    """
+    if y_range is not None:
+        columns = table.filter_columns_by_range(
+            y_range[0], y_range[1], tolerance=config.column_filter_tolerance
+        )
+        if not columns:
+            columns = table.columns
+    else:
+        columns = table.columns
+
+    segment_blocks: List[np.ndarray] = []
+    names: List[str] = []
+    max_n2 = 1
+    per_column = []
+    for column in columns:
+        segments = column_segments(column.values, config)
+        per_column.append(segments)
+        names.append(column.name)
+        max_n2 = max(max_n2, segments.shape[0])
+    # Pad all columns to the same number of segments (repeat the last segment
+    # so padding does not inject an artificial flat shape).
+    for segments in per_column:
+        if segments.shape[0] < max_n2:
+            pad = np.repeat(segments[-1:], max_n2 - segments.shape[0], axis=0)
+            segments = np.concatenate([segments, pad], axis=0)
+        segment_blocks.append(segments)
+    stacked = np.stack(segment_blocks) if segment_blocks else np.zeros((0, 1, config.data_segment_size))
+    return TableInput(segments=stacked, column_names=names, table_id=table.table_id)

@@ -1,0 +1,89 @@
+"""Negative sampling strategies for FCM training (Sec. V-E and Appendix B/E).
+
+For each positive training pair ``(V_i, T_i)``, ``N−`` negative tables are
+selected from the current mini-batch.  The paper compares four strategies —
+the ground-truth relevance ``Rel(D, T)`` between the chart's underlying data
+and every candidate table in the batch is available at training time, so each
+strategy simply picks from the ranked candidates:
+
+* **semi-hard** (default): candidates with *middle*-ranked relevance;
+* **random**: uniform over the batch;
+* **hard**: the highest-relevance non-positive candidates;
+* **easy**: the lowest-relevance candidates.
+
+Figure 5 and Table IX study these choices; the corresponding experiment
+harness lives in ``repro.bench.experiments``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+NEGATIVE_STRATEGIES = ("semi-hard", "random", "hard", "easy")
+
+
+def select_negatives(
+    relevance_row: np.ndarray,
+    positive_index: int,
+    num_negatives: int,
+    strategy: str = "semi-hard",
+    rng: np.random.Generator | None = None,
+) -> List[int]:
+    """Select negative candidate indices for one positive pair.
+
+    Parameters
+    ----------
+    relevance_row:
+        ``Rel(D_i, T_j)`` for the chart ``V_i`` against every candidate table
+        ``T_j`` in the mini-batch (1-D array).
+    positive_index:
+        Index of the positive table in the row (never selected).
+    num_negatives:
+        ``N−``: how many negatives to return (clipped to the number of
+        available candidates).
+    strategy:
+        One of :data:`NEGATIVE_STRATEGIES`.
+    rng:
+        Random generator (needed by the ``random`` strategy; optional
+        otherwise).
+    """
+    if strategy not in NEGATIVE_STRATEGIES:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; expected one of {NEGATIVE_STRATEGIES}"
+        )
+    relevance_row = np.asarray(relevance_row, dtype=np.float64)
+    candidates = [i for i in range(relevance_row.shape[0]) if i != positive_index]
+    if not candidates:
+        return []
+    num_negatives = min(num_negatives, len(candidates))
+    if num_negatives <= 0:
+        return []
+
+    if strategy == "random":
+        rng = rng or np.random.default_rng()
+        chosen = rng.choice(len(candidates), size=num_negatives, replace=False)
+        return [candidates[int(i)] for i in chosen]
+
+    # Rank candidates by decreasing ground-truth relevance.
+    ranked = sorted(candidates, key=lambda i: relevance_row[i], reverse=True)
+    if strategy == "hard":
+        return ranked[:num_negatives]
+    if strategy == "easy":
+        return ranked[-num_negatives:]
+    # Semi-hard: the middle of the ranking.
+    middle = len(ranked) // 2
+    half = num_negatives // 2
+    start = max(0, min(middle - half, len(ranked) - num_negatives))
+    return ranked[start : start + num_negatives]
+
+
+def batch_indices(
+    num_examples: int, batch_size: int, rng: np.random.Generator
+) -> List[np.ndarray]:
+    """Shuffle example indices and split them into mini-batches."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    order = rng.permutation(num_examples)
+    return [order[start : start + batch_size] for start in range(0, num_examples, batch_size)]

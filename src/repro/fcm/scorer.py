@@ -1,0 +1,167 @@
+"""Query-time scoring: rank a repository of tables for a line chart query.
+
+The scorer wraps the trained FCM model with the pieces a deployment needs:
+
+* the visual element extractor turning a query chart into lines + y range;
+* a cache of dataset-encoder outputs so each table is encoded once and only
+  the (cheap) cross-modal matcher runs per (query, table) pair;
+* the y-tick column filter of Sec. IV-C, applied by *selecting* the cached
+  column representations whose value range overlaps the query's y range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart
+from ..data.repository import DataRepository
+from ..data.table import Table
+from ..nn import Tensor
+from ..vision.extractor import VisualElementExtractor
+from .config import FCMConfig
+from .model import FCMModel
+from .preprocessing import ChartInput, prepare_chart_input, prepare_table_input
+
+
+@dataclass
+class EncodedTable:
+    """Cached dataset-encoder output for one table."""
+
+    table_id: str
+    representations: np.ndarray  # (NC, N2, K)
+    column_names: List[str]
+    column_ranges: List[Tuple[float, float]]
+    column_embeddings: np.ndarray  # (NC, K), mean over segments
+
+
+class FCMScorer:
+    """Ranks candidate tables for line chart queries using a trained FCM."""
+
+    def __init__(
+        self,
+        model: FCMModel,
+        extractor: Optional[VisualElementExtractor] = None,
+    ) -> None:
+        self.model = model
+        self.config: FCMConfig = model.config
+        self.extractor = extractor or VisualElementExtractor()
+        self._encoded: Dict[str, EncodedTable] = {}
+
+    # ------------------------------------------------------------------ #
+    # Table indexing
+    # ------------------------------------------------------------------ #
+    def index_table(self, table: Table) -> EncodedTable:
+        """Encode ``table`` once and cache the result."""
+        if table.table_id in self._encoded:
+            return self._encoded[table.table_id]
+        self.model.eval()
+        table_input = prepare_table_input(table, self.config)
+        representations = self.model.encode_table(table_input).numpy()
+        encoded = EncodedTable(
+            table_id=table.table_id,
+            representations=representations,
+            column_names=table_input.column_names,
+            column_ranges=[table.column(n).value_range() for n in table_input.column_names],
+            column_embeddings=representations.mean(axis=1),
+        )
+        self._encoded[table.table_id] = encoded
+        return encoded
+
+    def index_repository(self, repository: Iterable[Table]) -> None:
+        """Encode every table in the repository (idempotent)."""
+        for table in repository:
+            self.index_table(table)
+
+    @property
+    def indexed_table_ids(self) -> List[str]:
+        return list(self._encoded.keys())
+
+    def encoded_table(self, table_id: str) -> EncodedTable:
+        if table_id not in self._encoded:
+            raise KeyError(f"table {table_id!r} has not been indexed")
+        return self._encoded[table_id]
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+    # ------------------------------------------------------------------ #
+    def prepare_query(self, chart: LineChart) -> ChartInput:
+        """Extract visual elements and build the chart encoder input."""
+        elements = self.extractor.extract(chart)
+        return prepare_chart_input(chart, elements, self.config)
+
+    def query_line_embeddings(self, chart: LineChart) -> np.ndarray:
+        """Line-level embeddings of a query chart (for the LSH index)."""
+        chart_input = self.prepare_query(chart)
+        return self.model.line_embeddings(chart_input)
+
+    def _select_columns(
+        self, encoded: EncodedTable, y_range: Tuple[float, float]
+    ) -> np.ndarray:
+        """Apply the y-tick column filter to a cached table encoding."""
+        low, high = y_range
+        tolerance = self.config.column_filter_tolerance
+        pad = tolerance * max(abs(low), abs(high), 1.0)
+        keep = [
+            idx
+            for idx, (c_low, c_high) in enumerate(encoded.column_ranges)
+            if c_high >= low - pad and c_low <= high + pad
+        ]
+        if not keep:
+            keep = list(range(len(encoded.column_ranges)))
+        return encoded.representations[keep]
+
+    def score_pair(self, chart_input: ChartInput, encoded: EncodedTable) -> float:
+        """Relevance of one query against one cached table."""
+        self.model.eval()
+        chart_repr = self.model.encode_chart(chart_input)
+        table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+        return float(self.model.match(chart_repr, table_repr).item())
+
+    def score_chart(
+        self,
+        chart: LineChart,
+        table_ids: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
+        """Relevance of ``chart`` against the (subset of the) indexed tables."""
+        chart_input = self.prepare_query(chart)
+        chart_repr = self.model.encode_chart(chart_input)
+        ids = list(table_ids) if table_ids is not None else self.indexed_table_ids
+        scores: Dict[str, float] = {}
+        for table_id in ids:
+            encoded = self.encoded_table(table_id)
+            table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+            scores[table_id] = float(self.model.match(chart_repr, table_repr).item())
+        return scores
+
+    def rank(
+        self,
+        chart: LineChart,
+        k: Optional[int] = None,
+        table_ids: Optional[Sequence[str]] = None,
+    ) -> List[Tuple[str, float]]:
+        """Top-``k`` (table_id, score) pairs for the query chart."""
+        scores = self.score_chart(chart, table_ids=table_ids)
+        ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)
+        return ranked if k is None else ranked[:k]
+
+    def top_k_ids(
+        self,
+        chart: LineChart,
+        k: int,
+        table_ids: Optional[Sequence[str]] = None,
+    ) -> List[str]:
+        return [table_id for table_id, _ in self.rank(chart, k=k, table_ids=table_ids)]
+
+
+def build_scorer_for_repository(
+    model: FCMModel,
+    repository: DataRepository,
+    extractor: Optional[VisualElementExtractor] = None,
+) -> FCMScorer:
+    """Create a scorer and pre-index the whole repository."""
+    scorer = FCMScorer(model, extractor=extractor)
+    scorer.index_repository(repository)
+    return scorer

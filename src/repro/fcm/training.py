@@ -1,0 +1,393 @@
+"""FCM training: example construction, ground-truth relevance, training loop.
+
+Training follows Sec. V-E of the paper:
+
+* training triplets ``(V_i, D_i, T_i)`` come from the training split of the
+  corpus — the chart ``V_i`` is rendered from the table ``T_i`` using its
+  visualization spec, optionally through a sampled aggregation operator;
+* negatives are drawn from the mini-batch with a configurable strategy
+  (semi-hard by default) using the ground-truth relevance ``Rel(D, T)``,
+  which is available during training because the underlying data is known;
+* the objective is the class-balanced binary cross-entropy of Eq. 2,
+  optimised with Adam.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart, render_chart_for_table
+from ..charts.spec import ChartSpec
+from ..data.aggregation import AggregationSpec, sample_aggregation_spec
+from ..data.corpus import CorpusRecord
+from ..data.table import Table, UnderlyingData
+from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, stack
+from ..relevance import RelevanceComputer
+from ..vision.extractor import VisualElementExtractor
+from .config import FCMConfig
+from .model import FCMModel
+from .preprocessing import (
+    ChartInput,
+    TableInput,
+    prepare_chart_input,
+    prepare_table_input,
+    resample_series,
+)
+from .sampling import NEGATIVE_STRATEGIES, batch_indices, select_negatives
+
+
+# --------------------------------------------------------------------------- #
+# Training examples
+# --------------------------------------------------------------------------- #
+@dataclass
+class TrainingExample:
+    """One training triplet ``(V, D, T)`` in model-ready form."""
+
+    chart_input: ChartInput
+    underlying: UnderlyingData
+    table_id: str
+    num_lines: int
+    aggregation: Optional[AggregationSpec] = None
+    chart: Optional[LineChart] = None
+
+    @property
+    def is_aggregated(self) -> bool:
+        return self.aggregation is not None and not self.aggregation.is_identity
+
+
+@dataclass
+class TrainingData:
+    """Everything the trainer needs: examples plus the candidate tables."""
+
+    examples: List[TrainingExample]
+    tables: Dict[str, Table]
+    table_inputs: Dict[str, TableInput]
+
+    @property
+    def table_ids(self) -> List[str]:
+        return list(self.tables.keys())
+
+
+def build_training_data(
+    records: Sequence[CorpusRecord],
+    config: FCMConfig,
+    extractor: Optional[VisualElementExtractor] = None,
+    aggregated_fraction: float = 0.5,
+    seed: int = 0,
+    keep_charts: bool = False,
+) -> TrainingData:
+    """Render charts for the training records and preprocess everything.
+
+    Parameters
+    ----------
+    aggregated_fraction:
+        Probability that a record's chart is rendered through a sampled
+        aggregation operator (the paper trains on a mixture of DA and non-DA
+        charts).
+    keep_charts:
+        Keep the rendered :class:`LineChart` objects on the examples (useful
+        for diagnostics; costs memory).
+    """
+    extractor = extractor or VisualElementExtractor()
+    rng = np.random.default_rng(seed)
+    examples: List[TrainingExample] = []
+    tables: Dict[str, Table] = {}
+    table_inputs: Dict[str, TableInput] = {}
+
+    for record in records:
+        if record.spec.chart_type != "line":
+            continue
+        table = record.table
+        tables[table.table_id] = table
+        table_inputs[table.table_id] = prepare_table_input(table, config)
+
+        aggregation: Optional[AggregationSpec] = None
+        if rng.random() < aggregated_fraction:
+            aggregation = sample_aggregation_spec(table.num_rows, rng)
+        chart = render_chart_for_table(
+            table,
+            list(record.spec.y_columns),
+            x_column=record.spec.x_column,
+            aggregation=aggregation,
+            spec=config.chart_spec,
+        )
+        elements = extractor.extract(chart)
+        if elements.num_lines == 0:
+            continue
+        chart_input = prepare_chart_input(chart, elements, config)
+        examples.append(
+            TrainingExample(
+                chart_input=chart_input,
+                underlying=chart.underlying,
+                table_id=table.table_id,
+                num_lines=chart.num_lines,
+                aggregation=aggregation,
+                chart=chart if keep_charts else None,
+            )
+        )
+    if not examples:
+        raise ValueError("no line-chart training examples could be constructed")
+    return TrainingData(examples=examples, tables=tables, table_inputs=table_inputs)
+
+
+# --------------------------------------------------------------------------- #
+# Ground-truth relevance (downsampled for training-time tractability)
+# --------------------------------------------------------------------------- #
+def ground_truth_relevance(
+    data: UnderlyingData,
+    table: Table,
+    max_points: int = 48,
+    computer: Optional[RelevanceComputer] = None,
+) -> float:
+    """``Rel(D, T)`` computed on series resampled to at most ``max_points``.
+
+    Resampling keeps the DTW-based ground truth tractable during training and
+    benchmark construction; the DTW is still exact on the resampled series.
+    """
+    computer = computer or RelevanceComputer(aggregate="mean")
+    from ..data.column import Column
+    from ..data.table import DataSeries
+
+    series = []
+    for s in data:
+        y = resample_series(s.y, min(max_points, len(s.y)))
+        series.append(DataSeries(x=np.arange(len(y), dtype=np.float64), y=y, name=s.name))
+    columns = [
+        Column(c.name, resample_series(c.values, min(max_points, len(c))), role=c.role)
+        for c in table.columns
+    ]
+    small_data = UnderlyingData(series=series)
+    small_table = Table(table.table_id, columns)
+    return computer.score(small_data, small_table)
+
+
+def relevance_matrix(
+    examples: Sequence[TrainingExample],
+    tables: Dict[str, Table],
+    max_points: int = 48,
+) -> Tuple[np.ndarray, List[str]]:
+    """Ground-truth relevance of every example against every table.
+
+    Returns the matrix (``num_examples x num_tables``) and the table-id order
+    of its columns.
+    """
+    table_ids = list(tables.keys())
+    computer = RelevanceComputer(aggregate="mean")
+    matrix = np.zeros((len(examples), len(table_ids)))
+    for i, example in enumerate(examples):
+        for j, table_id in enumerate(table_ids):
+            matrix[i, j] = ground_truth_relevance(
+                example.underlying, tables[table_id], max_points=max_points, computer=computer
+            )
+    return matrix, table_ids
+
+
+# --------------------------------------------------------------------------- #
+# Trainer
+# --------------------------------------------------------------------------- #
+@dataclass
+class TrainerConfig:
+    """Optimisation hyper-parameters (Sec. VII-B, scaled)."""
+
+    epochs: int = 10
+    batch_size: int = 8
+    learning_rate: float = 1e-3
+    num_negatives: int = 3
+    strategy: str = "semi-hard"
+    grad_clip: Optional[float] = 5.0
+    seed: int = 0
+    relevance_max_points: int = 48
+
+    def __post_init__(self) -> None:
+        if self.strategy not in NEGATIVE_STRATEGIES:
+            raise ValueError(
+                f"unknown negative-sampling strategy {self.strategy!r}; "
+                f"expected one of {NEGATIVE_STRATEGIES}"
+            )
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.num_negatives < 1:
+            raise ValueError("num_negatives (N-) must be >= 1")
+
+
+@dataclass
+class EpochStats:
+    """Per-epoch training statistics."""
+
+    epoch: int
+    loss: float
+    seconds: float
+    eval_metric: Optional[float] = None
+
+
+@dataclass
+class TrainingHistory:
+    """The full training trace of one model."""
+
+    epochs: List[EpochStats] = field(default_factory=list)
+
+    @property
+    def losses(self) -> List[float]:
+        return [e.loss for e in self.epochs]
+
+    @property
+    def eval_metrics(self) -> List[Optional[float]]:
+        return [e.eval_metric for e in self.epochs]
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epochs:
+            raise ValueError("no epochs recorded")
+        return self.epochs[-1].loss
+
+
+class FCMTrainer:
+    """Trains an :class:`FCMModel` on prepared :class:`TrainingData`."""
+
+    def __init__(
+        self,
+        model: FCMModel,
+        trainer_config: Optional[TrainerConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = trainer_config or TrainerConfig()
+        self._clipper = (
+            GradientClipper(self.config.grad_clip) if self.config.grad_clip else None
+        )
+
+    def train(
+        self,
+        data: TrainingData,
+        relevance: Optional[np.ndarray] = None,
+        table_order: Optional[List[str]] = None,
+        eval_fn: Optional[Callable[[FCMModel], float]] = None,
+    ) -> TrainingHistory:
+        """Run the training loop.
+
+        Parameters
+        ----------
+        data:
+            Output of :func:`build_training_data`.
+        relevance, table_order:
+            Optional precomputed ground-truth relevance matrix (and its
+            column order).  Computed on demand otherwise — precomputing and
+            reusing it across strategies is how the Figure 5 experiment keeps
+            its cost linear in the number of strategies.
+        eval_fn:
+            Optional callback evaluated after every epoch (e.g. validation
+            prec@k); its value is recorded in the history.
+        """
+        if relevance is None or table_order is None:
+            relevance, table_order = relevance_matrix(
+                data.examples, data.tables, max_points=self.config.relevance_max_points
+            )
+        table_index = {table_id: j for j, table_id in enumerate(table_order)}
+
+        optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate)
+        rng = np.random.default_rng(self.config.seed)
+        history = TrainingHistory()
+
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            start = time.perf_counter()
+            epoch_losses: List[float] = []
+            for batch in batch_indices(len(data.examples), self.config.batch_size, rng):
+                batch_table_ids = sorted({data.examples[i].table_id for i in batch})
+                loss = self._batch_loss(
+                    [int(i) for i in batch], batch_table_ids, data, relevance, table_index, rng
+                )
+                if loss is None:
+                    continue
+                optimizer.zero_grad()
+                loss.backward()
+                if self._clipper is not None:
+                    self._clipper.clip(self.model.parameters())
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            elapsed = time.perf_counter() - start
+            metric = None
+            if eval_fn is not None:
+                self.model.eval()
+                metric = float(eval_fn(self.model))
+                self.model.train()
+            history.epochs.append(
+                EpochStats(
+                    epoch=epoch,
+                    loss=float(np.mean(epoch_losses)) if epoch_losses else float("nan"),
+                    seconds=elapsed,
+                    eval_metric=metric,
+                )
+            )
+        self.model.eval()
+        return history
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _batch_loss(
+        self,
+        batch_example_indices: Sequence[int],
+        batch_table_ids: List[str],
+        data: TrainingData,
+        relevance: np.ndarray,
+        table_index: Dict[str, int],
+        rng: np.random.Generator,
+    ):
+        predictions = []
+        labels: List[float] = []
+        for example_index in batch_example_indices:
+            example = data.examples[example_index]
+            example_row = relevance[
+                example_index, [table_index[t] for t in batch_table_ids]
+            ]
+            positive_pos = batch_table_ids.index(example.table_id)
+            chart_repr = self.model.encode_chart(example.chart_input)
+
+            positive_input = data.table_inputs[example.table_id]
+            predictions.append(self.model.match(chart_repr, self.model.encode_table(positive_input)))
+            labels.append(1.0)
+
+            negative_positions = select_negatives(
+                example_row,
+                positive_pos,
+                self.config.num_negatives,
+                strategy=self.config.strategy,
+                rng=rng,
+            )
+            for pos in negative_positions:
+                negative_input = data.table_inputs[batch_table_ids[pos]]
+                predictions.append(
+                    self.model.match(chart_repr, self.model.encode_table(negative_input))
+                )
+                labels.append(0.0)
+        if not predictions:
+            return None
+        stacked = stack([p.reshape(1) for p in predictions], axis=0).reshape(-1)
+        return balanced_binary_cross_entropy(stacked, np.asarray(labels))
+
+
+def train_fcm(
+    records: Sequence[CorpusRecord],
+    config: Optional[FCMConfig] = None,
+    trainer_config: Optional[TrainerConfig] = None,
+    extractor: Optional[VisualElementExtractor] = None,
+    aggregated_fraction: float = 0.5,
+    eval_fn: Optional[Callable[[FCMModel], float]] = None,
+) -> Tuple[FCMModel, TrainingHistory, TrainingData]:
+    """End-to-end convenience: build data, create the model, train it."""
+    config = config or FCMConfig()
+    model = FCMModel(config)
+    data = build_training_data(
+        records,
+        config,
+        extractor=extractor,
+        aggregated_fraction=aggregated_fraction,
+        seed=(trainer_config.seed if trainer_config else 0),
+    )
+    trainer = FCMTrainer(model, trainer_config)
+    history = trainer.train(data, eval_fn=eval_fn)
+    return model, history, data

@@ -1,0 +1,22 @@
+"""``repro.index`` — query-time indexing: interval tree, LSH, hybrid processor."""
+
+from .hybrid import (
+    INDEXING_STRATEGIES,
+    HybridQueryProcessor,
+    IndexBuildStats,
+    QueryResult,
+)
+from .interval_tree import Interval, IntervalTree, build_interval_index
+from .lsh import LSHConfig, RandomHyperplaneLSH
+
+__all__ = [
+    "HybridQueryProcessor",
+    "INDEXING_STRATEGIES",
+    "IndexBuildStats",
+    "Interval",
+    "IntervalTree",
+    "LSHConfig",
+    "QueryResult",
+    "RandomHyperplaneLSH",
+    "build_interval_index",
+]

@@ -1,0 +1,167 @@
+"""Hybrid index and query processor (Sec. VI-A).
+
+Four query-processing strategies are compared in Table VIII:
+
+* **no index** — score every table with FCM (linear scan);
+* **interval tree** — only tables whose column ranges overlap the query's
+  y-axis range are scored (never loses a true candidate);
+* **LSH** — only tables whose column codes collide with a query line's code
+  are scored (may lose candidates, bigger reduction);
+* **hybrid** — the intersection of the two candidate sets.
+
+The query processor measures the candidate-set sizes and wall-clock time per
+query so the efficiency/effectiveness trade-off of Table VIII can be
+reproduced directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart
+from ..data.table import Table
+from ..fcm.scorer import FCMScorer
+from .interval_tree import IntervalTree
+from .lsh import LSHConfig, RandomHyperplaneLSH
+
+INDEXING_STRATEGIES = ("none", "interval", "lsh", "hybrid")
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one indexed query."""
+
+    ranking: List[Tuple[str, float]]
+    candidates: int
+    total_tables: int
+    seconds: float
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.total_tables == 0:
+            return 0.0
+        return 1.0 - self.candidates / self.total_tables
+
+    def top_k_ids(self, k: int) -> List[str]:
+        return [table_id for table_id, _ in self.ranking[:k]]
+
+
+@dataclass
+class IndexBuildStats:
+    """Time spent building each index structure."""
+
+    interval_seconds: float = 0.0
+    lsh_seconds: float = 0.0
+    num_tables: int = 0
+
+
+class HybridQueryProcessor:
+    """Candidate generation (interval tree + LSH) followed by FCM verification."""
+
+    def __init__(
+        self,
+        scorer: FCMScorer,
+        lsh_config: Optional[LSHConfig] = None,
+    ) -> None:
+        self.scorer = scorer
+        self.lsh_config = lsh_config or LSHConfig()
+        self.interval_tree = IntervalTree()
+        self.lsh: Optional[RandomHyperplaneLSH] = None
+        self.build_stats = IndexBuildStats()
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------------ #
+    # Build phase
+    # ------------------------------------------------------------------ #
+    def index_repository(self, tables: Iterable[Table]) -> IndexBuildStats:
+        """Encode every table with FCM and build both index structures."""
+        tables = list(tables)
+        for table in tables:
+            self._tables[table.table_id] = table
+            self.scorer.index_table(table)
+
+        start = time.perf_counter()
+        for table in tables:
+            self.interval_tree.add_table(table)
+        self.interval_tree.build()
+        interval_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        embedding_dim = self.scorer.config.embed_dim
+        self.lsh = RandomHyperplaneLSH(embedding_dim, config=self.lsh_config)
+        for table in tables:
+            encoded = self.scorer.encoded_table(table.table_id)
+            self.lsh.add(table.table_id, encoded.column_embeddings)
+        lsh_seconds = time.perf_counter() - start
+
+        self.build_stats = IndexBuildStats(
+            interval_seconds=interval_seconds,
+            lsh_seconds=lsh_seconds,
+            num_tables=len(tables),
+        )
+        return self.build_stats
+
+    @property
+    def table_ids(self) -> List[str]:
+        return list(self._tables.keys())
+
+    # ------------------------------------------------------------------ #
+    # Candidate generation
+    # ------------------------------------------------------------------ #
+    def _interval_candidates(self, chart_input) -> Set[str]:
+        low, high = chart_input.y_range
+        return self.interval_tree.query_table_ids(low, high)
+
+    def _lsh_candidates(self, chart: LineChart) -> Set[str]:
+        if self.lsh is None:
+            raise RuntimeError("index_repository() must be called before querying")
+        line_embeddings = self.scorer.query_line_embeddings(chart)
+        return self.lsh.query(line_embeddings)
+
+    def candidates(self, chart: LineChart, strategy: str) -> Set[str]:
+        """The candidate table ids a strategy would verify with FCM."""
+        if strategy not in INDEXING_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; expected one of {INDEXING_STRATEGIES}"
+            )
+        all_ids = set(self._tables.keys())
+        if strategy == "none":
+            return all_ids
+        chart_input = self.scorer.prepare_query(chart)
+        if strategy == "interval":
+            return self._interval_candidates(chart_input) & all_ids
+        if strategy == "lsh":
+            return self._lsh_candidates(chart) & all_ids
+        interval_set = self._interval_candidates(chart_input)
+        lsh_set = self._lsh_candidates(chart)
+        return interval_set & lsh_set & all_ids
+
+    # ------------------------------------------------------------------ #
+    # Query phase
+    # ------------------------------------------------------------------ #
+    def query(
+        self,
+        chart: LineChart,
+        k: int,
+        strategy: str = "hybrid",
+    ) -> QueryResult:
+        """Run one top-``k`` query under the chosen indexing strategy."""
+        start = time.perf_counter()
+        candidate_ids = self.candidates(chart, strategy)
+        if not candidate_ids:
+            # An over-aggressive filter should degrade, not crash: fall back
+            # to verifying everything (still counted in the timing).
+            candidate_ids = set(self._tables.keys())
+        scores = self.scorer.score_chart(chart, table_ids=sorted(candidate_ids))
+        ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:k]
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            ranking=ranking,
+            candidates=len(candidate_ids),
+            total_tables=len(self._tables),
+            seconds=elapsed,
+        )

@@ -1,0 +1,157 @@
+"""Interval tree over column value ranges (Sec. VI-A).
+
+Each column ``C`` of each candidate table is indexed by the interval
+``[min(C), sum(C)]`` — the extreme values any of the supported aggregations
+of the column could produce.  At query time the y-axis range extracted from
+the chart is used as a stabbing/overlap query; every table with at least one
+overlapping column survives.  The interval tree never prunes a true positive
+(a property the tests verify), so retrieval quality is identical to a linear
+scan while the candidate set shrinks.
+
+The implementation is a classic centered interval tree built once over a
+static set of intervals (queries are read-only), which matches how the paper
+uses it: build offline, query online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..data.table import Table
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval tagged with the table/column it came from."""
+
+    low: float
+    high: float
+    table_id: str
+    column_name: str
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(
+                f"interval high ({self.high}) must be >= low ({self.low})"
+            )
+
+    def overlaps(self, low: float, high: float) -> bool:
+        return self.high >= low and self.low <= high
+
+
+class _Node:
+    """One node of the centered interval tree."""
+
+    __slots__ = ("center", "by_low", "by_high", "left", "right")
+
+    def __init__(self, center: float, intervals: List[Interval]) -> None:
+        self.center = center
+        self.by_low = sorted(intervals, key=lambda iv: iv.low)
+        self.by_high = sorted(intervals, key=lambda iv: iv.high, reverse=True)
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+
+
+class IntervalTree:
+    """Static centered interval tree supporting overlap queries."""
+
+    def __init__(self, intervals: Optional[Iterable[Interval]] = None) -> None:
+        self._intervals: List[Interval] = list(intervals or [])
+        self._root: Optional[_Node] = None
+        self._built = False
+        if self._intervals:
+            self.build()
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add(self, interval: Interval) -> None:
+        """Add an interval (invalidates the built tree until :meth:`build`)."""
+        self._intervals.append(interval)
+        self._built = False
+
+    def add_table(self, table: Table) -> None:
+        """Index every column of ``table`` by its ``[min, max(sum, max)]`` interval."""
+        for column in table.columns:
+            low, high = column.index_interval()
+            self.add(Interval(low=low, high=high, table_id=table.table_id, column_name=column.name))
+
+    def build(self) -> "IntervalTree":
+        """(Re)build the tree from the currently stored intervals."""
+        self._root = self._build(list(self._intervals))
+        self._built = True
+        return self
+
+    @staticmethod
+    def _build(intervals: List[Interval]) -> Optional[_Node]:
+        if not intervals:
+            return None
+        endpoints = sorted({iv.low for iv in intervals} | {iv.high for iv in intervals})
+        center = endpoints[len(endpoints) // 2]
+        here = [iv for iv in intervals if iv.low <= center <= iv.high]
+        left = [iv for iv in intervals if iv.high < center]
+        right = [iv for iv in intervals if iv.low > center]
+        node = _Node(center, here)
+        node.left = IntervalTree._build(left)
+        node.right = IntervalTree._build(right)
+        return node
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def intervals(self) -> List[Interval]:
+        return list(self._intervals)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query(self, low: float, high: float) -> List[Interval]:
+        """Return every stored interval overlapping ``[low, high]``."""
+        if low > high:
+            low, high = high, low
+        if not self._built:
+            self.build()
+        results: List[Interval] = []
+        self._query(self._root, low, high, results)
+        return results
+
+    def _query(
+        self, node: Optional[_Node], low: float, high: float, results: List[Interval]
+    ) -> None:
+        if node is None:
+            return
+        if low <= node.center <= high:
+            results.extend(node.by_low)
+            self._query(node.left, low, high, results)
+            self._query(node.right, low, high, results)
+            return
+        if high < node.center:
+            # Only intervals starting at or below ``high`` can overlap.
+            for interval in node.by_low:
+                if interval.low > high:
+                    break
+                results.append(interval)
+            self._query(node.left, low, high, results)
+        else:
+            # Only intervals ending at or above ``low`` can overlap.
+            for interval in node.by_high:
+                if interval.high < low:
+                    break
+                results.append(interval)
+            self._query(node.right, low, high, results)
+
+    def query_table_ids(self, low: float, high: float) -> Set[str]:
+        """Ids of tables having at least one column overlapping ``[low, high]``."""
+        return {interval.table_id for interval in self.query(low, high)}
+
+
+def build_interval_index(tables: Sequence[Table]) -> IntervalTree:
+    """Convenience: build the index over a whole repository."""
+    tree = IntervalTree()
+    for table in tables:
+        tree.add_table(table)
+    return tree.build()

@@ -1,0 +1,59 @@
+"""``repro.nn`` — a from-scratch NumPy deep-learning engine.
+
+This package is the substrate substituting for PyTorch in the reproduction of
+"Dataset Discovery via Line Charts".  It provides reverse-mode autodiff
+(:mod:`repro.nn.tensor`), module/parameter management, the layers used by the
+paper (linear projections, layer norm, MLPs, multi-head attention, transformer
+encoders), optimizers and losses.
+"""
+
+from .attention import CrossAttention, MultiHeadSelfAttention, scaled_dot_product_attention
+from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, PositionalEmbedding
+from .losses import (
+    balanced_binary_cross_entropy,
+    binary_cross_entropy,
+    contrastive_cosine_loss,
+    cross_entropy,
+    mse_loss,
+)
+from .module import Module, ModuleList, Parameter, Sequential
+from .optim import Adam, CosineAnnealingLR, GradientClipper, Optimizer, SGD, StepLR
+from .serialization import load_state_dict, save_state_dict
+from .tensor import Tensor, concatenate, stack, where
+from .transformer import FeedForward, TransformerEncoder, TransformerEncoderLayer
+
+__all__ = [
+    "Adam",
+    "CosineAnnealingLR",
+    "CrossAttention",
+    "Dropout",
+    "Embedding",
+    "FeedForward",
+    "GradientClipper",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "ModuleList",
+    "MultiHeadSelfAttention",
+    "Optimizer",
+    "Parameter",
+    "PositionalEmbedding",
+    "SGD",
+    "Sequential",
+    "StepLR",
+    "Tensor",
+    "TransformerEncoder",
+    "TransformerEncoderLayer",
+    "balanced_binary_cross_entropy",
+    "binary_cross_entropy",
+    "concatenate",
+    "contrastive_cosine_loss",
+    "cross_entropy",
+    "load_state_dict",
+    "mse_loss",
+    "save_state_dict",
+    "scaled_dot_product_attention",
+    "stack",
+    "where",
+]

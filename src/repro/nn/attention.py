@@ -1,0 +1,155 @@
+"""Scaled dot-product and multi-head attention.
+
+The paper uses attention in three roles:
+
+* the standard multi-head *self*-attention inside the segment-level encoders
+  (Eq. 1, Sec. IV-B/IV-C);
+* the segment-level cross-modal attention (SL-SAN) that scores each line
+  segment against each data segment (Sec. IV-D);
+* the line-to-column cross-modal attention (LL-SAN) that scores each line
+  against each column (Sec. IV-D).
+
+The cross-modal variants are implemented by :class:`CrossAttention`, which
+computes attention of a *query sequence* over a *key/value sequence* and also
+exposes the raw attention weights so the matcher can reconstruct
+relevance-weighted representations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .layers import Dropout, Linear
+from .module import Module
+from .tensor import Tensor
+
+
+def scaled_dot_product_attention(
+    query: Tensor,
+    key: Tensor,
+    value: Tensor,
+    mask: Optional[np.ndarray] = None,
+) -> Tuple[Tensor, Tensor]:
+    """Compute ``softmax(QK^T / sqrt(d)) V``.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(..., seq_q, d)``, ``(..., seq_k, d)`` and
+        ``(..., seq_k, d_v)``.
+    mask:
+        Optional boolean array broadcastable to ``(..., seq_q, seq_k)``;
+        positions where the mask is ``False`` receive ``-inf`` scores.
+
+    Returns
+    -------
+    (output, weights):
+        ``output`` has shape ``(..., seq_q, d_v)`` and ``weights`` has shape
+        ``(..., seq_q, seq_k)``.
+    """
+    d = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        penalty = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
+        scores = scores + Tensor(penalty)
+    weights = scores.softmax(axis=-1)
+    return weights.matmul(value), weights
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head self-attention (MSA block in Eq. 1).
+
+    Input and output shape: ``(batch, seq, embed_dim)`` or ``(seq, embed_dim)``.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_heads: int,
+        dropout: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        if embed_dim % num_heads != 0:
+            raise ValueError(
+                f"embed_dim ({embed_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        self.embed_dim = embed_dim
+        self.num_heads = num_heads
+        self.head_dim = embed_dim // num_heads
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.out_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng) if dropout > 0 else None
+
+    def _split_heads(self, x: Tensor, batched: bool) -> Tensor:
+        """Reshape ``(..., seq, embed)`` to ``(..., heads, seq, head_dim)``."""
+        if batched:
+            batch, seq, _ = x.shape
+            x = x.reshape(batch, seq, self.num_heads, self.head_dim)
+            return x.transpose(0, 2, 1, 3)
+        seq, _ = x.shape
+        x = x.reshape(seq, self.num_heads, self.head_dim)
+        return x.transpose(1, 0, 2)
+
+    def _merge_heads(self, x: Tensor, batched: bool) -> Tensor:
+        """Inverse of :meth:`_split_heads`."""
+        if batched:
+            batch, _, seq, _ = x.shape
+            x = x.transpose(0, 2, 1, 3)
+            return x.reshape(batch, seq, self.embed_dim)
+        _, seq, _ = x.shape
+        x = x.transpose(1, 0, 2)
+        return x.reshape(seq, self.embed_dim)
+
+    def forward(self, x: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        batched = x.ndim == 3
+        q = self._split_heads(self.q_proj(x), batched)
+        k = self._split_heads(self.k_proj(x), batched)
+        v = self._split_heads(self.v_proj(x), batched)
+        attended, _ = scaled_dot_product_attention(q, k, v, mask=mask)
+        merged = self._merge_heads(attended, batched)
+        out = self.out_proj(merged)
+        if self.dropout is not None:
+            out = self.dropout(out)
+        return out
+
+
+class CrossAttention(Module):
+    """Single-head cross attention used by SL-SAN and LL-SAN (Sec. IV-D).
+
+    Given a query sequence (e.g. line-segment representations) and a context
+    sequence (e.g. data-segment representations), produce the
+    relevance-weighted reconstruction of the query from the context, plus the
+    attention weights themselves, which are the fine-grained relevance scores
+    described in the paper.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__()
+        self.embed_dim = embed_dim
+        self.q_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.k_proj = Linear(embed_dim, embed_dim, rng=rng)
+        self.v_proj = Linear(embed_dim, embed_dim, rng=rng)
+
+    def forward(
+        self, query_seq: Tensor, context_seq: Tensor
+    ) -> Tuple[Tensor, Tensor]:
+        """Attend ``query_seq`` over ``context_seq``.
+
+        Both arguments have shape ``(seq, embed_dim)`` (or a leading batch
+        dimension).  Returns ``(reconstructed, weights)`` where
+        ``reconstructed`` has the query's shape and ``weights`` has shape
+        ``(seq_q, seq_k)``.
+        """
+        q = self.q_proj(query_seq)
+        k = self.k_proj(context_seq)
+        v = self.v_proj(context_seq)
+        return scaled_dot_product_attention(q, k, v)

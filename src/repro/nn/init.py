@@ -1,0 +1,98 @@
+"""Parameter initialisation schemes used by the NumPy neural-network engine.
+
+Each function returns a plain ``numpy.ndarray``; wrapping it into a
+:class:`~repro.nn.tensor.Tensor` parameter is the caller's job (usually a
+:class:`~repro.nn.module.Module` subclass).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Return (fan_in, fan_out) for a weight of ``shape``.
+
+    For 2-D weights this is ``(in_features, out_features)``; for higher-rank
+    weights the receptive-field size multiplies both fans, mirroring the
+    convention used by PyTorch.
+    """
+    if len(shape) < 2:
+        fan = int(shape[0]) if shape else 1
+        return fan, fan
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[0] * receptive
+    fan_out = shape[1] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    gain: float = 1.0,
+) -> np.ndarray:
+    """Glorot/Xavier normal initialisation."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    nonlinearity: str = "relu",
+) -> np.ndarray:
+    """He/Kaiming uniform initialisation for ReLU-family activations."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    limit = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    nonlinearity: str = "relu",
+) -> np.ndarray:
+    """He/Kaiming normal initialisation for ReLU-family activations."""
+    rng = rng or np.random.default_rng()
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / np.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (used for biases)."""
+    return np.zeros(shape)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one initialisation (used for LayerNorm scale)."""
+    return np.ones(shape)
+
+
+def normal(
+    shape: Tuple[int, ...],
+    rng: Optional[np.random.Generator] = None,
+    std: float = 0.02,
+) -> np.ndarray:
+    """Small-std normal initialisation (used for positional embeddings)."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(0.0, std, size=shape)

@@ -1,0 +1,160 @@
+"""Optimizers and learning-rate schedules for the NumPy engine.
+
+The paper trains FCM with Adam (learning rate 1e-6, 60 epochs); SGD is also
+provided because ablation experiments in the appendix discuss SGD-based
+mini-batch training.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and the ``zero_grad`` helper."""
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.parameters, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with optional decoupled weight decay."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._t
+        bias_correction2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                param.data -= self.lr * self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias_correction1
+            v_hat = v / bias_correction2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class GradientClipper:
+    """Clip gradients by global L2 norm before an optimizer step."""
+
+    def __init__(self, max_norm: float) -> None:
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        self.max_norm = max_norm
+
+    def clip(self, parameters: Iterable[Parameter]) -> float:
+        """Clip in place and return the pre-clip global norm."""
+        params = [p for p in parameters if p.grad is not None]
+        if not params:
+            return 0.0
+        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+        if total > self.max_norm:
+            scale = self.max_norm / (total + 1e-12)
+            for p in params:
+                p.grad = p.grad * scale
+        return total
+
+
+class StepLR:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self.base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch += 1
+        exponent = self._epoch // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** exponent)
+
+
+class CosineAnnealingLR:
+    """Cosine-annealed learning rate from the base value to ``min_lr``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0) -> None:
+        if total_epochs <= 0:
+            raise ValueError("total_epochs must be positive")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self._epoch = 0
+        self.base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        factor = 0.5 * (1.0 + np.cos(np.pi * progress))
+        self.optimizer.lr = self.min_lr + (self.base_lr - self.min_lr) * factor

@@ -1,0 +1,61 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from .module import Module
+
+PathLike = Union[str, Path]
+
+
+def save_state_dict(
+    module: Module,
+    path: PathLike,
+    metadata: Optional[Dict[str, object]] = None,
+) -> Path:
+    """Save a module's parameters (and optional JSON metadata) to ``path``.
+
+    The archive stores one array per parameter under its qualified name plus
+    an optional ``__metadata__`` entry containing a JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    arrays: Dict[str, np.ndarray] = dict(state)
+    if metadata is not None:
+        arrays["__metadata__"] = np.frombuffer(
+            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez(path, **arrays)
+    # ``np.savez`` appends .npz if missing; normalise the returned path.
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_state_dict(
+    module: Module,
+    path: PathLike,
+    strict: bool = True,
+) -> Dict[str, object]:
+    """Load parameters saved by :func:`save_state_dict` into ``module``.
+
+    Returns the metadata dictionary stored alongside the parameters (empty if
+    none was stored).
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    metadata: Dict[str, object] = {}
+    raw_meta = arrays.pop("__metadata__", None)
+    if raw_meta is not None:
+        metadata = json.loads(bytes(raw_meta).decode("utf-8"))
+    module.load_state_dict(arrays, strict=strict)
+    return metadata

@@ -1,0 +1,18 @@
+"""``repro.relevance`` — ground-truth relevance: DTW, matching, Rel(D, T)."""
+
+from .dtw import dtw_distance, dtw_distance_banded, dtw_path, znormalize
+from .matching import MatchingResult, max_weight_matching, max_weight_matching_networkx
+from .relevance import RelevanceComputer, RelevanceScore, low_level_relevance
+
+__all__ = [
+    "MatchingResult",
+    "RelevanceComputer",
+    "RelevanceScore",
+    "dtw_distance",
+    "dtw_distance_banded",
+    "dtw_path",
+    "low_level_relevance",
+    "max_weight_matching",
+    "max_weight_matching_networkx",
+    "znormalize",
+]

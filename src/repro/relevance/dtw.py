@@ -1,0 +1,158 @@
+"""Dynamic time warping distance (Sec. III-A).
+
+The ground-truth relevance between a data series ``d`` (one line of the
+underlying data) and a column ``C`` is ``rel(d, C) = 1 / (1 + DTW(d, C))``.
+DTW tolerates the differing lengths and temporal resolutions that arise when
+aggregated data is compared against the original column.
+
+Two implementations are provided:
+
+* :func:`dtw_distance` — exact O(n·m) dynamic program;
+* :func:`dtw_distance_banded` — the Sakoe–Chiba banded variant, an optional
+  accelerator whose band width trades accuracy for speed (the band is exact
+  when it is at least as wide as the length difference of the inputs).
+
+Series are optionally z-normalised before the distance is computed so that a
+chart's *shape* rather than its absolute scale drives the match, matching how
+the paper treats value ranges (the range is handled separately by the y-tick
+filter and the interval-tree index).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def znormalize(series: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Return the z-normalised copy of ``series`` (constant series → zeros)."""
+    series = np.asarray(series, dtype=np.float64)
+    std = series.std()
+    if std < eps:
+        return np.zeros_like(series)
+    return (series - series.mean()) / std
+
+
+def _validate(series: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite values")
+    return arr
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    normalize: bool = True,
+) -> float:
+    """Exact DTW distance between two 1-D series.
+
+    Parameters
+    ----------
+    a, b:
+        Input series (possibly different lengths).
+    normalize:
+        Whether to z-normalise both series first (default, shape matching).
+    """
+    a = _validate(a, "a")
+    b = _validate(b, "b")
+    if normalize:
+        a, b = znormalize(a), znormalize(b)
+    n, m = a.shape[0], b.shape[0]
+    # cost[i, j] = |a[i-1] - b[j-1]| accumulated along the optimal path.
+    prev = np.full(m + 1, np.inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        current = np.full(m + 1, np.inf)
+        diff = np.abs(a[i - 1] - b)
+        for j in range(1, m + 1):
+            best = min(prev[j], prev[j - 1], current[j - 1])
+            current[j] = diff[j - 1] + best
+        prev = current
+    return float(prev[m])
+
+
+def dtw_distance_banded(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: Optional[int] = None,
+    normalize: bool = True,
+) -> float:
+    """Sakoe–Chiba banded DTW.
+
+    Parameters
+    ----------
+    band:
+        Maximum allowed |i - j| deviation from the diagonal (after the
+        shorter series is conceptually stretched to the longer one).  Defaults
+        to 10% of the longer series, but never less than the length
+        difference (otherwise no warping path would exist).
+    """
+    a = _validate(a, "a")
+    b = _validate(b, "b")
+    if normalize:
+        a, b = znormalize(a), znormalize(b)
+    n, m = a.shape[0], b.shape[0]
+    if band is None:
+        band = max(n, m) // 10
+    band = max(band, abs(n - m), 1)
+
+    prev = np.full(m + 1, np.inf)
+    prev[0] = 0.0
+    for i in range(1, n + 1):
+        current = np.full(m + 1, np.inf)
+        # The band is centred on the rescaled diagonal position.
+        center = int(round(i * m / n))
+        lo = max(1, center - band)
+        hi = min(m, center + band)
+        if i == 1:
+            lo = 1
+        for j in range(lo, hi + 1):
+            best = min(prev[j], prev[j - 1], current[j - 1])
+            if np.isinf(best):
+                continue
+            current[j] = abs(a[i - 1] - b[j - 1]) + best
+        prev = current
+    result = prev[m]
+    if np.isinf(result):
+        # Band too tight to contain any path; fall back to the exact DTW.
+        return dtw_distance(a, b, normalize=False)
+    return float(result)
+
+
+def dtw_path(a: np.ndarray, b: np.ndarray, normalize: bool = True):
+    """Exact DTW returning both the distance and the optimal warping path.
+
+    The path is a list of ``(i, j)`` index pairs into ``a`` and ``b``.  Used
+    by diagnostics and by tests validating DTW's continuity/boundary
+    properties.
+    """
+    a = _validate(a, "a")
+    b = _validate(b, "b")
+    if normalize:
+        a, b = znormalize(a), znormalize(b)
+    n, m = a.shape[0], b.shape[0]
+    acc = np.full((n + 1, m + 1), np.inf)
+    acc[0, 0] = 0.0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            cost = abs(a[i - 1] - b[j - 1])
+            acc[i, j] = cost + min(acc[i - 1, j], acc[i, j - 1], acc[i - 1, j - 1])
+    # Backtrack.
+    path = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = [
+            (acc[i - 1, j - 1], i - 1, j - 1),
+            (acc[i - 1, j], i - 1, j),
+            (acc[i, j - 1], i, j - 1),
+        ]
+        _, i, j = min(moves, key=lambda item: item[0])
+    path.reverse()
+    return float(acc[n, m]), path

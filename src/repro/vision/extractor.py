@@ -1,0 +1,289 @@
+"""Visual element extractor: chart pixels → lines and y-axis value range.
+
+Sec. IV-A of the paper: the extractor recovers the two essential visual
+elements from a line chart query — the lines and the y-axis ticks.  This
+module turns a segmentation mask (either the ground-truth mask the rasteriser
+produced or a mask predicted by the trained LCSeg model) into:
+
+* per-line pixel masks and per-column traces (pixel rows → data values),
+* the numeric y-axis range, decoded from the bitmap tick labels by template
+  matching (our stand-in for OCR on real charts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..charts.rasterizer import LineChart
+from ..charts.spec import (
+    MASK_LINE,
+    MASK_TICK_LABEL,
+    MASK_Y_TICK,
+    ChartSpec,
+)
+from ..charts.ticks import GLYPH_HEIGHT, match_text
+from .elements import ExtractedLine, VisualElements
+from .lcseg import LCSegModel
+
+
+# --------------------------------------------------------------------------- #
+# Tick decoding
+# --------------------------------------------------------------------------- #
+def decode_tick_values(image: np.ndarray, class_mask: np.ndarray) -> List[float]:
+    """Decode the numeric values of all y-axis tick labels in the chart.
+
+    Tick labels are located via the ``tick_label`` segmentation class,
+    grouped into horizontal bands (one per label), cropped, and decoded by
+    template matching against the glyph set.  Labels that fail to parse are
+    skipped — a robustness property verified in the tests.
+    """
+    label_rows, label_cols = np.nonzero(class_mask == MASK_TICK_LABEL)
+    if label_rows.size == 0:
+        return []
+    values: List[float] = []
+    # Group label pixels into bands of consecutive rows.
+    unique_rows = np.unique(label_rows)
+    bands: List[Tuple[int, int]] = []
+    band_start = unique_rows[0]
+    prev = unique_rows[0]
+    for row in unique_rows[1:]:
+        if row - prev > 1:
+            bands.append((band_start, prev))
+            band_start = row
+        prev = row
+    bands.append((band_start, prev))
+
+    for top, bottom in bands:
+        in_band = (label_rows >= top) & (label_rows <= bottom)
+        cols = label_cols[in_band]
+        left, right = cols.min(), cols.max()
+        crop = (image[top : top + GLYPH_HEIGHT, left : right + 1] > 0.5).astype(np.int8)
+        if crop.shape[0] < GLYPH_HEIGHT:
+            crop = np.pad(crop, ((0, GLYPH_HEIGHT - crop.shape[0]), (0, 0)))
+        text = match_text(crop)
+        try:
+            values.append(float(text))
+        except ValueError:
+            continue
+    return values
+
+
+def extract_y_range(
+    image: np.ndarray,
+    class_mask: np.ndarray,
+    fallback: Optional[Tuple[float, float]] = None,
+) -> Tuple[float, float]:
+    """Return the (low, high) y-axis value range read from the tick labels."""
+    values = decode_tick_values(image, class_mask)
+    if len(values) >= 2:
+        return float(min(values)), float(max(values))
+    if fallback is not None:
+        return fallback
+    raise ValueError("could not decode at least two y-axis tick values")
+
+
+def tick_pixel_rows(class_mask: np.ndarray) -> List[int]:
+    """Pixel row of every detected y-tick mark (mean row per tick band)."""
+    rows, _ = np.nonzero(class_mask == MASK_Y_TICK)
+    if rows.size == 0:
+        return []
+    unique = np.unique(rows)
+    groups: List[List[int]] = [[int(unique[0])]]
+    for row in unique[1:]:
+        if row - groups[-1][-1] <= 1:
+            groups[-1].append(int(row))
+        else:
+            groups.append([int(row)])
+    return [int(np.mean(g)) for g in groups]
+
+
+# --------------------------------------------------------------------------- #
+# Line instance separation and tracing
+# --------------------------------------------------------------------------- #
+def _column_runs(column_pixels: np.ndarray) -> List[float]:
+    """Mean row of each contiguous run of True values in a boolean column."""
+    rows = np.nonzero(column_pixels)[0]
+    if rows.size == 0:
+        return []
+    runs: List[List[int]] = [[int(rows[0])]]
+    for row in rows[1:]:
+        if row - runs[-1][-1] <= 1:
+            runs[-1].append(int(row))
+        else:
+            runs.append([int(row)])
+    return [float(np.mean(run)) for run in runs]
+
+
+def estimate_num_lines(line_mask: np.ndarray, plot_bounds: Tuple[int, int, int, int]) -> int:
+    """Estimate the number of distinct lines from run counts per column.
+
+    Lines may cross (reducing the per-column count locally), so the estimate
+    uses a high percentile of the per-column run counts rather than the
+    maximum, which is sensitive to rendering artefacts.
+    """
+    top, bottom, left, right = plot_bounds
+    counts = []
+    for col in range(left, right):
+        counts.append(len(_column_runs(line_mask[top:bottom, col])))
+    counts = [c for c in counts if c > 0]
+    if not counts:
+        return 0
+    return int(np.percentile(counts, 90))
+
+
+def separate_line_instances(
+    line_mask: np.ndarray,
+    plot_bounds: Tuple[int, int, int, int],
+    num_lines: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Split a line-class mask into per-line traces by greedy row tracking.
+
+    Returns one array per line of length ``right - left`` holding the pixel
+    row of that line in each plot column (NaN where the line is absent).
+    """
+    top, bottom, left, right = plot_bounds
+    width = right - left
+    if num_lines is None:
+        num_lines = estimate_num_lines(line_mask, plot_bounds)
+    if num_lines == 0:
+        return []
+
+    traces = [np.full(width, np.nan) for _ in range(num_lines)]
+    last_rows: List[Optional[float]] = [None] * num_lines
+
+    for offset in range(width):
+        col = left + offset
+        candidates = _column_runs(line_mask[top:bottom, col])
+        candidates = [c + top for c in candidates]
+        if not candidates:
+            continue
+        unassigned = list(range(num_lines))
+        remaining = list(candidates)
+        # Greedily match candidates to the closest previously seen line row.
+        pairs: List[Tuple[float, int, float]] = []
+        for line_idx in range(num_lines):
+            if last_rows[line_idx] is None:
+                continue
+            for cand in remaining:
+                pairs.append((abs(cand - last_rows[line_idx]), line_idx, cand))
+        pairs.sort(key=lambda item: item[0])
+        used_lines: set = set()
+        used_cands: set = set()
+        for _, line_idx, cand in pairs:
+            if line_idx in used_lines or cand in used_cands:
+                continue
+            traces[line_idx][offset] = cand
+            last_rows[line_idx] = cand
+            used_lines.add(line_idx)
+            used_cands.add(cand)
+        # Any never-seen lines pick up leftover candidates in order.
+        leftover = [c for c in remaining if c not in used_cands]
+        fresh = [i for i in unassigned if i not in used_lines and last_rows[i] is None]
+        for line_idx, cand in zip(fresh, leftover):
+            traces[line_idx][offset] = cand
+            last_rows[line_idx] = cand
+    return traces
+
+
+def rows_to_values(
+    trace_rows: np.ndarray,
+    y_range: Tuple[float, float],
+    plot_top: int,
+    plot_bottom: int,
+) -> np.ndarray:
+    """Convert pixel rows to data values using the y-axis mapping."""
+    low, high = y_range
+    span_rows = max(plot_bottom - plot_top, 1)
+    frac = (plot_bottom - trace_rows) / span_rows
+    return low + frac * (high - low)
+
+
+def _trace_to_mask(
+    trace_rows: np.ndarray, shape: Tuple[int, int], plot_left: int
+) -> np.ndarray:
+    mask = np.zeros(shape, dtype=bool)
+    for offset, row in enumerate(trace_rows):
+        if np.isnan(row):
+            continue
+        mask[int(round(row)), plot_left + offset] = True
+    return mask
+
+
+# --------------------------------------------------------------------------- #
+# Top-level extraction
+# --------------------------------------------------------------------------- #
+class VisualElementExtractor:
+    """Turns a rendered chart into :class:`VisualElements`.
+
+    Parameters
+    ----------
+    model:
+        Optional trained :class:`LCSegModel`.  When provided, the class mask
+        is predicted from pixels alone ("model" mode); otherwise the
+        rasteriser's ground-truth class mask is used ("mask" mode), which
+        corresponds to the paper's automatic LineChartSeg labelling.
+    use_oracle_instances:
+        When true, per-line instance masks recorded by the rasteriser are
+        used directly (the configuration used for benchmark construction);
+        when false, instances are separated from the class mask by greedy
+        tracking, exercising the full query-time pipeline.
+    """
+
+    def __init__(
+        self,
+        model: Optional[LCSegModel] = None,
+        use_oracle_instances: bool = True,
+    ) -> None:
+        self.model = model
+        self.use_oracle_instances = use_oracle_instances
+
+    def extract(self, chart: LineChart) -> VisualElements:
+        spec = chart.spec
+        plot_bounds = (spec.plot_top, spec.plot_bottom, spec.plot_left, spec.plot_right)
+
+        if self.model is not None:
+            class_mask = self.model.predict_mask(chart.image)
+        else:
+            class_mask = chart.class_mask
+
+        y_range = extract_y_range(chart.image, class_mask, fallback=chart.axis_range)
+
+        lines: List[ExtractedLine] = []
+        if self.use_oracle_instances and chart.line_masks:
+            for mask in chart.line_masks:
+                trace_rows = self._trace_from_mask(mask, plot_bounds)
+                values = rows_to_values(trace_rows, y_range, spec.plot_top, spec.plot_bottom)
+                lines.append(
+                    ExtractedLine(mask=mask, trace_rows=trace_rows, trace_values=values)
+                )
+        else:
+            line_mask = class_mask == MASK_LINE
+            traces = separate_line_instances(line_mask, plot_bounds)
+            for trace_rows in traces:
+                mask = _trace_to_mask(trace_rows, chart.image.shape, spec.plot_left)
+                values = rows_to_values(trace_rows, y_range, spec.plot_top, spec.plot_bottom)
+                lines.append(
+                    ExtractedLine(mask=mask, trace_rows=trace_rows, trace_values=values)
+                )
+
+        return VisualElements(
+            lines=lines,
+            y_range=y_range,
+            tick_values=decode_tick_values(chart.image, class_mask),
+            plot_bounds=plot_bounds,
+        )
+
+    @staticmethod
+    def _trace_from_mask(
+        mask: np.ndarray, plot_bounds: Tuple[int, int, int, int]
+    ) -> np.ndarray:
+        top, bottom, left, right = plot_bounds
+        width = right - left
+        trace = np.full(width, np.nan)
+        for offset in range(width):
+            rows = np.nonzero(mask[top:bottom, left + offset])[0]
+            if rows.size:
+                trace[offset] = float(np.mean(rows)) + top
+        return trace

@@ -1,0 +1,77 @@
+"""Shared fixtures: small corpora, charts and model configurations.
+
+Everything here is deliberately tiny so the full unit-test suite runs in a
+few minutes on a laptop CPU; the benchmark directory uses larger scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.charts import ChartSpec, render_chart_for_table
+from repro.data import (
+    Column,
+    CorpusConfig,
+    Table,
+    filter_line_chart_records,
+    generate_corpus,
+)
+from repro.fcm import FCMConfig
+from repro.vision import VisualElementExtractor
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_records():
+    """A handful of line-chart corpus records shared across tests."""
+    records = generate_corpus(
+        CorpusConfig(num_records=14, min_rows=80, max_rows=140, seed=3)
+    )
+    return filter_line_chart_records(records)
+
+
+@pytest.fixture(scope="session")
+def simple_table() -> Table:
+    """A small deterministic table with distinct column shapes."""
+    n = 96
+    t = np.linspace(0, 1, n)
+    return Table(
+        "tbl_simple",
+        [
+            Column("time", np.arange(n, dtype=float), role="x"),
+            Column("rising", 10.0 * t + 1.0, role="y"),
+            Column("wave", np.sin(2 * np.pi * 3 * t) * 5.0, role="y"),
+            Column("flatish", np.full(n, 2.0) + 0.01 * t, role="y"),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def simple_chart(simple_table):
+    """A two-line chart rendered from the simple table."""
+    return render_chart_for_table(
+        simple_table, ["rising", "wave"], x_column="time", spec=ChartSpec()
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_fcm_config() -> FCMConfig:
+    """The smallest sensible FCM configuration (used by model/training tests)."""
+    return FCMConfig(
+        embed_dim=16,
+        num_heads=2,
+        num_layers=1,
+        data_segment_size=32,
+        beta=2,
+        max_data_segments=4,
+    )
+
+
+@pytest.fixture(scope="session")
+def extractor() -> VisualElementExtractor:
+    return VisualElementExtractor()

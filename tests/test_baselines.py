@@ -1,0 +1,172 @@
+"""Tests for the comparison methods: CML, Qetch*, DeepEye/LineNet, ablations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    CMLConfig,
+    CMLMethod,
+    CMLModel,
+    DELNMethod,
+    DeepEyeRecommender,
+    FCMMethod,
+    LineNetConfig,
+    LineNetModel,
+    OptLNMethod,
+    QetchConfig,
+    QetchStarMethod,
+    column_interestingness,
+    detect_x_column,
+    fcm_full_config,
+    fcm_without_da_config,
+    fcm_without_hcman_config,
+    qetch_match_error,
+    qetch_similarity,
+    train_cml,
+    train_linenet,
+)
+from repro.charts import ChartSpec, render_chart_for_table
+from repro.data import Column, DataRepository, Table
+from repro.fcm import FCMModel
+
+
+class TestQetch:
+    def test_identical_series_have_low_error(self):
+        series = np.sin(np.linspace(0, 6, 80))
+        assert qetch_match_error(series, series) < 0.05
+        assert qetch_similarity(series, series) > 0.9
+
+    def test_different_shapes_have_higher_error(self):
+        wave = np.sin(np.linspace(0, 6, 80))
+        line = np.linspace(0, 1, 80)
+        assert qetch_match_error(wave, line) > qetch_match_error(wave, wave)
+
+    def test_scale_invariance(self):
+        series = np.sin(np.linspace(0, 6, 60))
+        assert qetch_match_error(series, 100 * series + 7) == pytest.approx(
+            qetch_match_error(series, series), abs=1e-9
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            QetchConfig(num_sections=0)
+        with pytest.raises(ValueError):
+            QetchConfig(num_sections=10, resample_length=5)
+
+    def test_qetch_star_ranks_source_table_well(self, simple_table, simple_chart):
+        rng = np.random.default_rng(0)
+        noise_table = Table(
+            "tbl_noise",
+            [Column(f"n{i}", rng.standard_normal(simple_table.num_rows)) for i in range(3)],
+        )
+        method = QetchStarMethod()
+        method.index_repository([simple_table, noise_table])
+        ranked = method.rank(simple_chart)
+        assert ranked[0][0] == simple_table.table_id
+
+
+class TestVisRec:
+    def test_column_interestingness_orders_sensibly(self, simple_table):
+        rising = column_interestingness(simple_table["rising"])
+        flat = column_interestingness(
+            Column("const", np.full(simple_table.num_rows, 3.0))
+        )
+        assert rising > flat == 0.0
+
+    def test_detect_x_column(self, simple_table):
+        assert detect_x_column(simple_table) == "time"
+
+    def test_recommendations_are_bounded_and_renderable(self, simple_table):
+        recommender = DeepEyeRecommender()
+        column_sets = recommender.recommend_column_sets(simple_table)
+        assert 0 < len(column_sets) <= recommender.config.max_recommendations
+        charts = recommender.recommend_charts(simple_table)
+        assert len(charts) == len(column_sets)
+        for chart in charts:
+            assert chart.num_lines >= 1
+
+
+class TestLineNetAndDELN:
+    @pytest.fixture(scope="class")
+    def linenet(self, small_records):
+        model, losses = train_linenet(
+            small_records[:5], config=LineNetConfig(embed_dim=16, epochs=2), chart_spec=ChartSpec()
+        )
+        return model, losses
+
+    def test_training_produces_finite_losses(self, linenet):
+        _, losses = linenet
+        assert len(losses) == 2 and all(np.isfinite(l) for l in losses)
+
+    def test_embedding_is_normalised(self, linenet, simple_chart):
+        model, _ = linenet
+        embedding = model.embed(simple_chart.image)
+        assert np.linalg.norm(embedding) == pytest.approx(1.0, rel=1e-6)
+
+    def test_similarity_of_identical_charts_is_one(self, linenet, simple_chart):
+        model, _ = linenet
+        e = model.embed(simple_chart.image)
+        assert LineNetModel.similarity(e, e) == pytest.approx(1.0, rel=1e-6)
+
+    def test_deln_and_optln_score_all_tables(self, linenet, small_records, simple_table, simple_chart):
+        model, _ = linenet
+        tables = [simple_table] + [r.table for r in small_records[:3]]
+        deln = DELNMethod(model)
+        deln.index_repository(tables)
+        scores = deln.score_chart(simple_chart)
+        assert set(scores) == {t.table_id for t in tables}
+
+        specs = {r.table.table_id: r.spec for r in small_records[:3]}
+        optln = OptLNMethod(model, specs=specs)
+        optln.index_repository(tables)
+        opt_scores = optln.score_chart(simple_chart)
+        assert set(opt_scores) == {t.table_id for t in tables}
+
+
+class TestCML:
+    @pytest.fixture(scope="class")
+    def cml(self, small_records):
+        model, losses = train_cml(
+            small_records[:5], config=CMLConfig(embed_dim=16, epochs=2), chart_spec=ChartSpec()
+        )
+        return model, losses
+
+    def test_losses_finite(self, cml):
+        _, losses = cml
+        assert all(np.isfinite(l) for l in losses)
+
+    def test_cosine_bounds(self, cml, simple_chart, simple_table):
+        model, _ = cml
+        chart_vec = model.chart_tower(simple_chart.image).numpy()
+        table_vec = model.table_tower(simple_table).numpy()
+        assert -1.0 <= CMLModel.cosine(chart_vec, table_vec) <= 1.0
+
+    def test_method_ranks_all_indexed_tables(self, cml, small_records, simple_chart):
+        model, _ = cml
+        method = CMLMethod(model)
+        tables = [r.table for r in small_records[:4]]
+        method.index_repository(tables)
+        ranked = method.rank(simple_chart)
+        assert len(ranked) == 4
+        values = [s for _, s in ranked]
+        assert values == sorted(values, reverse=True)
+
+
+class TestAblationFactories:
+    def test_config_factories(self):
+        assert fcm_full_config().use_hcman and fcm_full_config().enable_da_layers
+        assert not fcm_without_hcman_config().use_hcman
+        assert not fcm_without_da_config().enable_da_layers
+
+    def test_fcm_method_adapter(self, tiny_fcm_config, small_records, simple_chart, simple_table):
+        model = FCMModel(tiny_fcm_config)
+        method = FCMMethod(model, name="FCM-test")
+        repository = DataRepository([simple_table] + [r.table for r in small_records[:2]])
+        method.index_repository(repository)
+        scores = method.score_chart(simple_chart)
+        assert len(scores) == 3
+        assert method.name == "FCM-test"
+        top = method.top_k_ids(simple_chart, k=2)
+        assert len(top) == 2

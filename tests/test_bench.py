@@ -1,0 +1,186 @@
+"""Tests for metrics, the benchmark builder and the experiment runners.
+
+The experiment-runner tests use :func:`repro.bench.smoke_scale` so the whole
+module stays well under a minute; the ``benchmarks/`` directory runs the same
+code at the reporting scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import (
+    build_benchmark,
+    dcg_at_k,
+    evaluate_method,
+    format_curves,
+    format_grid,
+    format_method_comparison,
+    format_table,
+    ndcg_at_k,
+    paper_numbers,
+    precision_at_k,
+    recall_at_k,
+    run_table1,
+    smoke_scale,
+    summarize,
+)
+from repro.bench.builder import BenchmarkConfig
+
+
+class TestMetrics:
+    def test_precision_basics(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "c"}, 3) == pytest.approx(2 / 3)
+        assert precision_at_k([], {"a"}, 5) == 0.0
+        assert precision_at_k(["a"], set(), 5) == 0.0
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_ndcg_perfect_and_worst(self):
+        relevant = {"a", "b"}
+        assert ndcg_at_k(["a", "b", "x"], relevant, 3) == pytest.approx(1.0)
+        assert ndcg_at_k(["x", "y", "z"], relevant, 3) == 0.0
+        better_order = ndcg_at_k(["a", "x", "b"], relevant, 3)
+        worse_order = ndcg_at_k(["x", "a", "b"], relevant, 3)
+        assert better_order > worse_order
+
+    def test_recall(self):
+        assert recall_at_k(["a", "b"], {"a", "c"}, 2) == pytest.approx(0.5)
+
+    def test_dcg_monotone_in_gains(self):
+        assert dcg_at_k([1, 1, 0], 3) > dcg_at_k([1, 0, 0], 3)
+
+    @given(
+        st.lists(st.text(alphabet="abcdefgh", min_size=1, max_size=1), min_size=1, max_size=8, unique=True),
+        st.sets(st.text(alphabet="abcdefgh", min_size=1, max_size=1), min_size=1, max_size=8),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_metric_bounds(self, retrieved, relevant, k):
+        prec = precision_at_k(retrieved, relevant, k)
+        ndcg = ndcg_at_k(retrieved, relevant, k)
+        assert 0.0 <= prec <= 1.0
+        assert 0.0 <= ndcg <= 1.0
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "b"], [[1, 0.25], ["x", None]], title="T")
+        assert "T" in text and "0.250" in text and "-" in text
+
+    def test_format_method_comparison(self):
+        result = {"overall": {"FCM": {"prec": 0.5, "ndcg": 0.4}}}
+        text = format_method_comparison(result, ["FCM"], title="Table II")
+        assert "Table II" in text and "0.500" in text
+
+    def test_format_grid_and_curves(self):
+        assert "P1\\P2" in format_grid({(30, 64): 0.4, (60, 64): 0.5})
+        assert "epoch" in format_curves({"semi-hard": [0.1, 0.2]})
+
+
+class TestPaperNumbers:
+    def test_fcm_wins_every_section_of_table2(self):
+        for section in paper_numbers.TABLE2.values():
+            best = max(section, key=lambda m: section[m]["prec"])
+            assert best == "FCM"
+
+    def test_table7_peaks_at_p1_60_p2_64(self):
+        grid = paper_numbers.TABLE7
+        assert max(grid, key=grid.get) == (60, 64)
+
+    def test_table8_hybrid_is_fastest(self):
+        times = {k: v["query_seconds"] for k, v in paper_numbers.TABLE8.items()}
+        assert min(times, key=times.get) == "hybrid"
+
+
+class TestBenchmarkBuilder:
+    @pytest.fixture(scope="class")
+    def bench_data(self):
+        return build_benchmark(smoke_scale().benchmark)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(corpus_records=10, train_records=20)
+        with pytest.raises(ValueError):
+            BenchmarkConfig(k=0)
+
+    def test_two_queries_per_test_record(self, bench_data):
+        assert len(bench_data.queries) == 2 * bench_data.config.query_records
+        aggregated = bench_data.queries_with_aggregation(True)
+        plain = bench_data.queries_with_aggregation(False)
+        assert len(aggregated) == len(plain) == bench_data.config.query_records
+
+    def test_ground_truth_contains_source_or_noisy_copy(self, bench_data):
+        """Non-aggregated queries must keep their source (or a noisy copy) relevant.
+
+        Aggregated queries are excluded: their underlying data is the
+        aggregated series, and the DTW ground truth may legitimately rank
+        other tables above the source when the window is large.
+        """
+        for query in bench_data.queries_with_aggregation(False):
+            related = {
+                table_id
+                for table_id in query.relevant
+                if table_id == query.source_table_id
+                or table_id.startswith(f"{query.source_table_id}::noisy")
+            }
+            assert related, f"{query.query_id} has no related table in its ground truth"
+
+    def test_repository_contains_noisy_copies(self, bench_data):
+        noisy = [t for t in bench_data.repository.table_ids if "::noisy" in t]
+        assert len(noisy) == bench_data.config.query_records * bench_data.config.noisy_copies_per_query
+
+    def test_relevant_sets_have_size_k(self, bench_data):
+        for query in bench_data.queries:
+            assert len(query.relevant) == bench_data.k
+            assert len(query.ranked_ground_truth) == bench_data.k
+
+    def test_statistics_table1(self, bench_data):
+        stats = run_table1(bench_data)
+        assert stats["queries"]["total"] == len(bench_data.queries)
+        assert stats["repository"]["total"] == len(bench_data.repository)
+        bucket_sum = sum(v for k, v in stats["queries"].items() if k != "total")
+        assert bucket_sum == stats["queries"]["total"]
+
+    def test_splits_are_disjoint_from_queries(self, bench_data):
+        train_ids = {r.table.table_id for r in bench_data.train_records}
+        query_sources = {q.source_table_id for q in bench_data.queries}
+        assert not (train_ids & query_sources)
+
+
+class TestEvaluation:
+    def test_evaluate_with_oracle_method(self):
+        """A method that returns the ground truth must achieve perfect scores."""
+        from repro.baselines.base import DiscoveryMethod
+
+        benchmark = build_benchmark(smoke_scale().benchmark)
+
+        class OracleMethod(DiscoveryMethod):
+            name = "oracle"
+
+            def __init__(self, benchmark):
+                self._benchmark = benchmark
+                self._by_chart = {id(q.chart): q for q in benchmark.queries}
+
+            def index_repository(self, tables):
+                pass
+
+            def score_chart(self, chart):
+                query = self._by_chart[id(chart)]
+                scores = {table_id: 0.0 for table_id in self._benchmark.repository.table_ids}
+                for rank, table_id in enumerate(query.ranked_ground_truth):
+                    scores[table_id] = 1.0 - rank * 1e-3
+                return scores
+
+        oracle = OracleMethod(benchmark)
+        evaluations = evaluate_method(oracle, benchmark)
+        summary = summarize(evaluations)
+        assert summary["prec"] == pytest.approx(1.0)
+        assert summary["ndcg"] == pytest.approx(1.0)
+        assert summary["queries"] == len(benchmark.queries)
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"prec": 0.0, "ndcg": 0.0, "queries": 0}

@@ -1,0 +1,170 @@
+"""Tests for ticks, the rasteriser, and the LineChartSeg dataset builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.charts import (
+    ChartSpec,
+    LineChartSegDataset,
+    MASK_AXIS,
+    MASK_LINE,
+    MASK_TICK_LABEL,
+    MASK_Y_TICK,
+    build_linechartseg,
+    format_tick,
+    match_text,
+    nice_ticks,
+    render_chart_for_table,
+    render_line_chart,
+    render_text,
+    underlying_data_from_table,
+)
+from repro.data import AggregationSpec, AugmentationConfig
+from repro.charts.canvas import Canvas
+
+
+class TestNiceTicks:
+    def test_simple_range(self):
+        ticks = nice_ticks(0.0, 10.0, 5)
+        assert ticks[0] <= 0.0 and ticks[-1] >= 10.0
+        steps = np.diff(ticks)
+        np.testing.assert_allclose(steps, steps[0])
+
+    def test_degenerate_range(self):
+        ticks = nice_ticks(2.0, 2.0, 4)
+        assert ticks[0] <= 2.0 <= ticks[-1]
+
+    def test_requires_two_ticks(self):
+        with pytest.raises(ValueError):
+            nice_ticks(0.0, 1.0, 1)
+
+    @given(
+        st.floats(min_value=-1e4, max_value=1e4, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=1e4, allow_nan=False),
+        st.integers(min_value=2, max_value=9),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_always_covers_range_and_terminates(self, low, span, count):
+        high = low + span
+        ticks = nice_ticks(low, high, count)
+        assert ticks[0] <= low + 1e-9
+        assert ticks[-1] >= high - 1e-9
+        assert len(ticks) >= 2
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+
+class TestTickLabels:
+    @pytest.mark.parametrize("value", [0, 3, -7, 12.5, 0.25, 1234, -0.03, 150000.0])
+    def test_render_and_match_roundtrip(self, value):
+        label = format_tick(float(value))
+        decoded = match_text(render_text(label))
+        assert float(decoded) == pytest.approx(float(label), rel=1e-6)
+
+    def test_render_unknown_character_raises(self):
+        with pytest.raises(KeyError):
+            render_text("x")
+
+    def test_match_empty(self):
+        assert match_text(np.zeros((5, 0))) == ""
+
+
+class TestCanvas:
+    def test_out_of_bounds_pixels_are_clipped(self):
+        canvas = Canvas(10, 10)
+        canvas.draw_segment(-5, -5, 20, 20, class_id=1, instance="line")
+        assert canvas.image.max() == 1.0
+        assert canvas.image.shape == (10, 10)
+
+    def test_polyline_validation(self):
+        canvas = Canvas(10, 10)
+        with pytest.raises(ValueError):
+            canvas.draw_polyline(np.array([1, 2]), np.array([1, 2, 3]))
+
+    def test_instance_masks_track_pixels(self):
+        canvas = Canvas(20, 20)
+        canvas.draw_horizontal_line(5, 2, 8, class_id=2, instance="tick")
+        assert canvas.instance_masks["tick"].sum() == 7
+        assert (canvas.class_mask == 2).sum() == 7
+
+
+class TestChartSpec:
+    def test_geometry(self):
+        spec = ChartSpec()
+        assert spec.plot_width == spec.width - spec.margin_left - spec.margin_right
+        assert spec.plot_height == spec.height - spec.margin_top - spec.margin_bottom
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChartSpec(width=20, height=20, margin_left=18)
+        with pytest.raises(ValueError):
+            ChartSpec(num_y_ticks=1)
+
+
+class TestRasterizer:
+    def test_chart_contains_all_elements(self, simple_chart):
+        mask = simple_chart.class_mask
+        assert (mask == MASK_LINE).any()
+        assert (mask == MASK_AXIS).any()
+        assert (mask == MASK_Y_TICK).any()
+        assert (mask == MASK_TICK_LABEL).any()
+        assert simple_chart.num_lines == 2
+        assert simple_chart.image.shape == (simple_chart.spec.height, simple_chart.spec.width)
+
+    def test_axis_range_covers_data(self, simple_chart):
+        low, high = simple_chart.axis_range
+        data_low, data_high = simple_chart.underlying.y_range
+        assert low <= data_low and high >= data_high
+
+    def test_lines_stay_in_plot_area(self, simple_chart):
+        spec = simple_chart.spec
+        for mask in simple_chart.line_masks:
+            rows, cols = np.nonzero(mask)
+            assert rows.min() >= spec.plot_top - 1
+            assert rows.max() <= spec.plot_bottom + 1
+            assert cols.min() >= spec.plot_left
+            assert cols.max() <= spec.plot_right
+
+    def test_aggregated_chart_has_fewer_x_positions(self, simple_table):
+        plain = render_chart_for_table(simple_table, ["wave"], x_column="time")
+        aggregated = render_chart_for_table(
+            simple_table, ["wave"], x_column="time", aggregation=AggregationSpec("avg", 8)
+        )
+        assert len(aggregated.underlying[0]) < len(plain.underlying[0])
+        assert aggregated.aggregation is not None
+
+    def test_underlying_data_from_table_aggregation(self, simple_table):
+        data = underlying_data_from_table(
+            simple_table, ["rising"], aggregation=AggregationSpec("sum", 10)
+        )
+        assert len(data[0]) == int(np.ceil(simple_table.num_rows / 10))
+
+    def test_single_point_lines_rejected_upstream(self, simple_table):
+        data = simple_table.to_underlying_data(["rising"])
+        chart = render_line_chart(data)
+        assert chart.num_lines == 1
+
+
+class TestLineChartSeg:
+    def test_build_dataset(self, small_records):
+        dataset = build_linechartseg(small_records[:4], max_examples=10)
+        assert len(dataset) > len(small_records[:4])  # augmentation adds examples
+        histogram = dataset.class_histogram()
+        assert MASK_LINE in histogram and histogram[MASK_LINE] > 0
+        example = dataset[0]
+        assert example.image.shape == example.class_mask.shape
+
+    def test_augmentation_disabled_gives_one_example_per_record(self, small_records):
+        config = AugmentationConfig(reverse=False, partition=False, down_sample=False)
+        dataset = build_linechartseg(small_records[:3], augmentation=config)
+        assert len(dataset) == 3
+
+    def test_split(self, small_records):
+        dataset = build_linechartseg(small_records[:4], max_examples=12)
+        train, val = dataset.split(train_fraction=0.75, seed=0)
+        assert len(train) + len(val) == len(dataset)
+        with pytest.raises(ValueError):
+            dataset.split(train_fraction=1.5)

@@ -1,0 +1,140 @@
+"""Tests and properties for the windowed aggregation operators (Sec. II / V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    AGGREGATION_OPERATORS,
+    AggregationSpec,
+    aggregate_values,
+    aggregated_length,
+    operator_index,
+    sample_aggregation_spec,
+    window_bucket,
+)
+from repro.data.augmentation import AugmentationConfig, augment_table, reverse_table
+from repro.data import Column, Table
+
+
+class TestAggregationSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregationSpec("median", 5)
+        with pytest.raises(ValueError):
+            AggregationSpec("avg", 0)
+
+    def test_identity_detection(self):
+        assert AggregationSpec("none").is_identity
+        assert AggregationSpec("avg", 1).is_identity
+        assert not AggregationSpec("avg", 5).is_identity
+
+    def test_expert_indices_are_distinct(self):
+        indices = {operator_index(op) for op in AGGREGATION_OPERATORS}
+        assert len(indices) == len(AGGREGATION_OPERATORS)
+        assert AggregationSpec("none").expert_index == len(AGGREGATION_OPERATORS)
+        assert AggregationSpec("avg", 1).expert_index == len(AGGREGATION_OPERATORS)
+
+    def test_describe(self):
+        assert AggregationSpec("sum", 7).describe() == "sum(window=7)"
+        assert AggregationSpec("none").describe() == "none"
+
+    def test_unknown_operator_index(self):
+        with pytest.raises(ValueError):
+            operator_index("median")
+
+
+class TestAggregateValues:
+    def test_known_values(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        np.testing.assert_allclose(
+            aggregate_values(values, AggregationSpec("avg", 2)), [1.5, 3.5, 5.0]
+        )
+        np.testing.assert_allclose(
+            aggregate_values(values, AggregationSpec("sum", 2)), [3.0, 7.0, 5.0]
+        )
+        np.testing.assert_allclose(
+            aggregate_values(values, AggregationSpec("max", 2)), [2.0, 4.0, 5.0]
+        )
+        np.testing.assert_allclose(
+            aggregate_values(values, AggregationSpec("min", 2)), [1.0, 3.0, 5.0]
+        )
+
+    def test_identity_returns_copy(self):
+        values = np.array([1.0, 2.0])
+        out = aggregate_values(values, AggregationSpec("none"))
+        np.testing.assert_allclose(out, values)
+        out[0] = 99.0
+        assert values[0] == 1.0
+
+    def test_window_larger_than_series(self):
+        values = np.array([1.0, 5.0, 3.0])
+        out = aggregate_values(values, AggregationSpec("max", 10))
+        np.testing.assert_allclose(out, [5.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            aggregate_values(np.ones((2, 2)), AggregationSpec("avg", 2))
+
+    @given(
+        st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=200),
+        st.sampled_from(list(AGGREGATION_OPERATORS)),
+        st.integers(min_value=1, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_length_and_bounds_properties(self, values, operator, window):
+        values = np.asarray(values, dtype=np.float64)
+        spec = AggregationSpec(operator, window)
+        out = aggregate_values(values, spec)
+        assert out.shape[0] == aggregated_length(values.shape[0], spec)
+        # min/max/avg stay within the original value range; sum of a window of
+        # length w is bounded by w * extreme.
+        if operator in ("min", "max", "avg"):
+            assert out.min() >= values.min() - 1e-9
+            assert out.max() <= values.max() + 1e-9
+        else:
+            bound = window * max(abs(values.min()), abs(values.max())) + 1e-9
+            assert np.all(np.abs(out) <= bound)
+
+    @given(st.integers(min_value=20, max_value=2000), st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sampled_spec_respects_paper_bounds(self, num_rows, seed):
+        spec = sample_aggregation_spec(num_rows, np.random.default_rng(seed))
+        assert spec.operator in AGGREGATION_OPERATORS
+        assert 2 <= spec.window <= min(100, max(num_rows // 4, 2))
+
+
+class TestWindowBucket:
+    def test_bucket_edges(self):
+        assert window_bucket(5) == "0-10"
+        assert window_bucket(10) == "0-10"
+        assert window_bucket(25) == "20-40"
+        assert window_bucket(55) == "40-60"
+        assert window_bucket(70) == "60-80"
+        assert window_bucket(95) == "80-100"
+
+
+class TestAugmentation:
+    def test_reverse_preserves_shape(self, simple_table):
+        reversed_table = reverse_table(simple_table)
+        assert reversed_table.num_rows == simple_table.num_rows
+        np.testing.assert_allclose(
+            reversed_table["wave"].values, simple_table["wave"].values[::-1]
+        )
+
+    def test_augment_table_variants(self, simple_table, rng):
+        variants = augment_table(simple_table, rng=rng)
+        kinds = {v.table_id.split("::")[1][:4] for v in variants}
+        assert any(k.startswith("rev") for k in kinds)
+        assert any(k.startswith("part") for k in kinds)
+        assert any(k.startswith("ds") for k in kinds)
+        for variant in variants:
+            assert set(variant.column_names) == set(simple_table.column_names)
+
+    def test_augmentation_can_be_disabled(self, simple_table, rng):
+        config = AugmentationConfig(reverse=False, partition=False, down_sample=False)
+        assert augment_table(simple_table, config=config, rng=rng) == []
+        assert config.enabled() == []

@@ -1,0 +1,189 @@
+"""Tests for columns, tables, repository, splits and the synthetic corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Column,
+    CorpusConfig,
+    DataRepository,
+    SplitSizes,
+    Table,
+    corpus_statistics,
+    filter_line_chart_records,
+    generate_corpus,
+    line_count_bucket,
+    sample_num_lines,
+    split_corpus,
+)
+
+
+class TestColumn:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Column("bad", np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            Column("bad", np.array([]))
+        with pytest.raises(ValueError):
+            Column("bad", np.array([1.0, np.nan]))
+
+    def test_statistics(self):
+        column = Column("c", np.array([1.0, -2.0, 3.0]))
+        assert column.min == -2.0 and column.max == 3.0
+        assert column.total == pytest.approx(2.0)
+        assert column.value_range() == (-2.0, 3.0)
+
+    def test_index_interval_covers_min_and_sum(self):
+        column = Column("c", np.array([1.0, 2.0, 3.0]))
+        low, high = column.index_interval()
+        assert low <= column.min and high >= column.total
+        negative = Column("n", np.array([-1.0, -2.0, -3.0]))
+        low, high = negative.index_interval()
+        assert low <= negative.total  # windowed sums can go below the raw min
+
+    def test_transformations(self):
+        column = Column("c", np.arange(10, dtype=float))
+        assert list(column.reversed().values) == list(np.arange(10, dtype=float)[::-1])
+        left, right = column.partitioned(4)
+        assert len(left) == 4 and len(right) == 6
+        assert len(column.down_sampled(2)) == 5
+        with pytest.raises(ValueError):
+            column.partitioned(0)
+        with pytest.raises(ValueError):
+            column.down_sampled(0)
+
+    def test_equality_and_hash(self):
+        a = Column("c", np.array([1.0, 2.0]))
+        b = Column("c", np.array([1.0, 2.0]))
+        assert a == b and hash(a) == hash(b)
+        assert a != Column("c", np.array([1.0, 3.0]))
+
+
+class TestTable:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            Table("t", [])
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", np.ones(3)), Column("a", np.ones(3))])
+        with pytest.raises(ValueError):
+            Table("t", [Column("a", np.ones(3)), Column("b", np.ones(4))])
+
+    def test_accessors(self, simple_table):
+        assert simple_table.num_columns == 4
+        assert "rising" in simple_table
+        assert simple_table["rising"].name == "rising"
+        assert simple_table.column_at(0).name == "time"
+        with pytest.raises(KeyError):
+            simple_table.column("missing")
+        assert simple_table.numeric_matrix().shape == (4, simple_table.num_rows)
+
+    def test_select_and_filter_by_range(self, simple_table):
+        projected = simple_table.select(["rising", "wave"])
+        assert projected.column_names == ["rising", "wave"]
+        in_range = simple_table.filter_columns_by_range(0.0, 12.0)
+        names = {c.name for c in in_range}
+        assert "rising" in names
+        narrow = simple_table.filter_columns_by_range(100.0, 200.0, tolerance=0.0)
+        assert all(c.max >= 100.0 for c in narrow) or narrow == []
+
+    def test_to_underlying_data(self, simple_table):
+        data = simple_table.to_underlying_data(["rising", "wave"], x_column="time")
+        assert data.num_lines == 2
+        assert len(data[0]) == simple_table.num_rows
+        implicit = simple_table.to_underlying_data(["wave"])
+        np.testing.assert_allclose(implicit[0].x[:3], [1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            simple_table.to_underlying_data([])
+
+
+class TestRepository:
+    def test_add_get_remove(self, simple_table):
+        repo = DataRepository([simple_table])
+        assert len(repo) == 1 and simple_table.table_id in repo
+        with pytest.raises(ValueError):
+            repo.add(simple_table)
+        assert repo.get(simple_table.table_id) is simple_table
+        repo.remove(simple_table.table_id)
+        assert len(repo) == 0
+        with pytest.raises(KeyError):
+            repo.get("missing")
+
+    def test_noisy_copies_are_close_but_not_identical(self, simple_table, rng):
+        repo = DataRepository([simple_table])
+        copies = repo.inject_noisy_copies(simple_table, count=3, rng=rng, exclude_columns=["time"])
+        assert len(repo) == 4 and len(copies) == 3
+        for copy in copies:
+            np.testing.assert_allclose(copy["time"].values, simple_table["time"].values)
+            assert not np.allclose(copy["wave"].values, simple_table["wave"].values)
+            ratio = copy["rising"].values / simple_table["rising"].values
+            assert ratio.min() >= 0.9 - 1e-9 and ratio.max() <= 1.1 + 1e-9
+
+    def test_deduplicate(self, simple_table):
+        clone = Table("tbl_clone", [Column(c.name, c.values.copy(), role=c.role) for c in simple_table.columns])
+        repo = DataRepository([simple_table, clone])
+        removed = repo.deduplicate()
+        assert removed == 1 and len(repo) == 1
+
+    def test_summary(self, simple_table):
+        repo = DataRepository([simple_table])
+        summary = repo.summary()
+        assert summary["tables"] == 1
+        assert summary["avg_columns"] == 4
+
+
+class TestCorpus:
+    def test_generation_is_deterministic(self):
+        a = generate_corpus(CorpusConfig(num_records=10, seed=5))
+        b = generate_corpus(CorpusConfig(num_records=10, seed=5))
+        assert [r.table.table_id for r in a] == [r.table.table_id for r in b]
+        np.testing.assert_allclose(
+            a[0].table.numeric_matrix(), b[0].table.numeric_matrix()
+        )
+
+    def test_specs_reference_existing_columns(self, small_records):
+        for record in small_records:
+            for name in record.spec.y_columns:
+                assert name in record.table
+            if record.spec.x_column:
+                assert record.spec.x_column in record.table
+
+    def test_statistics_buckets(self, small_records):
+        stats = corpus_statistics(small_records)
+        assert stats["total"] == len(small_records)
+        assert sum(v for k, v in stats.items() if k != "total") == stats["total"]
+
+    def test_line_count_bucket(self):
+        assert line_count_bucket(1) == "1"
+        assert line_count_bucket(3) == "2-4"
+        assert line_count_bucket(6) == "5-7"
+        assert line_count_bucket(9) == ">7"
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sample_num_lines_in_range(self, seed):
+        n = sample_num_lines(np.random.default_rng(seed))
+        assert 1 <= n <= 12
+
+
+class TestSplit:
+    def test_split_sizes_and_disjointness(self):
+        records = generate_corpus(CorpusConfig(num_records=30, seed=7))
+        line_records = filter_line_chart_records(records)
+        split = split_corpus(line_records, SplitSizes(train=10, validation=5, test=5), seed=1)
+        assert split.sizes == (10, 5, 5)
+        ids = [r.table.table_id for part in (split.train, split.validation, split.test) for r in part]
+        assert len(ids) == len(set(ids))
+
+    def test_split_validation_errors(self, small_records):
+        with pytest.raises(ValueError):
+            split_corpus(small_records, SplitSizes(train=len(small_records), validation=5, test=5))
+        with pytest.raises(ValueError):
+            split_corpus(small_records, SplitSizes(train=1, validation=1, test=0))
+
+    def test_fractional_split(self, small_records):
+        split = split_corpus(small_records, SplitSizes(train=0.5, validation=0.2), seed=0)
+        assert split.sizes[0] == round(0.5 * len(small_records))

@@ -1,0 +1,226 @@
+"""Autograd engine tests: gradients are checked against finite differences."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, concatenate, stack, where
+
+
+def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued ``fn`` at ``x``."""
+    grad = np.zeros_like(x)
+    flat = x.ravel()
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x.copy())
+        flat[i] = original - eps
+        minus = fn(x.copy())
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build_fn, shape, seed=0, atol=1e-4):
+    """Compare autograd and numerical gradients for a scalar expression."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(shape)
+    tensor = Tensor(x.copy(), requires_grad=True)
+    out = build_fn(tensor)
+    out.backward()
+
+    def scalar_fn(values):
+        return build_fn(Tensor(values)).item()
+
+    numeric = numerical_gradient(scalar_fn, x.copy())
+    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-3)
+
+
+class TestBasicOps:
+    def test_add_and_mul_gradients(self):
+        check_gradient(lambda t: ((t * 3.0 + 1.5) * t).sum(), (4, 3))
+
+    def test_sub_div_gradients(self):
+        check_gradient(lambda t: ((t - 2.0) / 3.0).sum(), (5,))
+
+    def test_pow_gradient(self):
+        check_gradient(lambda t: (t ** 3).sum(), (3, 2))
+
+    def test_exp_log_gradient(self):
+        check_gradient(lambda t: (t.exp() + (t * t + 1.0).log()).sum(), (4,))
+
+    def test_sqrt_gradient(self):
+        check_gradient(lambda t: ((t * t + 1.0).sqrt()).sum(), (3, 3))
+
+    def test_tanh_sigmoid_gradient(self):
+        check_gradient(lambda t: (t.tanh() * t.sigmoid()).sum(), (6,))
+
+    def test_relu_and_leaky_relu(self):
+        x = Tensor(np.array([-2.0, -0.5, 0.5, 2.0]), requires_grad=True)
+        out = x.relu().sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.0, 1.0, 1.0])
+        y = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        y.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(y.grad, [0.1, 1.0])
+
+    def test_gelu_gradient(self):
+        check_gradient(lambda t: t.gelu().sum(), (5,), atol=1e-3)
+
+    def test_abs_and_clip(self):
+        check_gradient(lambda t: (t.abs() + t.clip(-0.5, 0.5)).sum(), (7,))
+
+    def test_rsub_rdiv(self):
+        x = Tensor(np.array([2.0, 4.0]), requires_grad=True)
+        out = (1.0 - x).sum() + (8.0 / x).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [-1.0 - 8.0 / 4.0, -1.0 - 8.0 / 16.0])
+
+
+class TestMatmulAndReductions:
+    def test_matmul_gradient_2d(self):
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal((3, 4))
+        check_gradient(lambda t: (t.matmul(Tensor(b))).sum(), (2, 3))
+
+    def test_matmul_gradient_batched(self):
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal((2, 4, 5))
+        check_gradient(lambda t: (t.matmul(Tensor(b))).sum(), (2, 3, 4))
+
+    def test_matmul_vector_cases(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        m = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        out = a.matmul(m).sum()
+        out.backward()
+        assert a.grad.shape == (3,)
+        assert m.grad.shape == (3, 4)
+
+    def test_sum_mean_axis_gradients(self):
+        check_gradient(lambda t: t.sum(axis=0).sum() + t.mean(axis=1).sum(), (3, 4))
+
+    def test_max_gradient_routes_to_argmax(self):
+        x = Tensor(np.array([[1.0, 5.0, 3.0], [2.0, 0.0, 7.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        expected = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_min_matches_negated_max(self):
+        x = np.array([[1.0, -5.0], [2.0, 0.5]])
+        assert Tensor(x).min().item() == pytest.approx(-5.0)
+
+    def test_var_non_negative(self):
+        x = Tensor(np.random.default_rng(2).standard_normal((6, 3)))
+        assert float(x.var().item()) >= 0.0
+
+
+class TestShapeOps:
+    def test_reshape_transpose_gradients(self):
+        check_gradient(lambda t: (t.reshape(6, 2).transpose(1, 0) * 2.0).sum(), (3, 4))
+
+    def test_getitem_gradient(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(3, 4), requires_grad=True)
+        x[1:, :2].sum().backward()
+        expected = np.zeros((3, 4))
+        expected[1:, :2] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_expand_squeeze(self):
+        x = Tensor(np.ones((3, 4)), requires_grad=True)
+        out = x.expand_dims(0).squeeze(axis=0).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.ones((3, 4)))
+
+    def test_swapaxes(self):
+        x = Tensor(np.arange(6, dtype=float).reshape(2, 3))
+        assert x.swapaxes(0, 1).shape == (3, 2)
+
+    def test_concatenate_and_stack_gradients(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)) * 2, requires_grad=True)
+        concatenate([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 3)))
+        a.zero_grad(), b.zero_grad()
+        (stack([a, b], axis=0) * 3.0).sum().backward()
+        np.testing.assert_allclose(a.grad, 3 * np.ones((2, 3)))
+
+    def test_where_gradient(self):
+        a = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([10.0, 20.0, 30.0]), requires_grad=True)
+        cond = np.array([True, False, True])
+        where(cond, a, b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestSoftmaxAndBroadcasting:
+    def test_softmax_rows_sum_to_one(self):
+        x = Tensor(np.random.default_rng(3).standard_normal((5, 7)))
+        probs = x.softmax(axis=-1).numpy()
+        np.testing.assert_allclose(probs.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_softmax_gradient(self):
+        check_gradient(lambda t: (t.softmax(axis=-1) * np.arange(4)).sum(), (3, 4))
+
+    def test_log_softmax_gradient(self):
+        check_gradient(lambda t: (t.log_softmax(axis=-1)[..., 0]).sum(), (3, 4))
+
+    def test_broadcast_add_gradient_shapes(self):
+        a = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        assert a.grad.shape == (4, 3)
+        assert b.grad.shape == (3,)
+        np.testing.assert_allclose(b.grad, [4.0, 4.0, 4.0])
+
+    def test_broadcast_mul_keepdims(self):
+        a = Tensor(np.ones((2, 3, 4)), requires_grad=True)
+        b = Tensor(np.ones((1, 3, 1)), requires_grad=True)
+        (a * b).sum().backward()
+        assert b.grad.shape == (1, 3, 1)
+        np.testing.assert_allclose(b.grad, np.full((1, 3, 1), 8.0))
+
+
+class TestBackwardSemantics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2).backward()
+
+    def test_gradient_accumulation(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2).sum()
+        y.backward()
+        z = (x * 3).sum()
+        z.backward()
+        np.testing.assert_allclose(x.grad, [5.0, 5.0, 5.0])
+
+    def test_detach_stops_gradient(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x.detach() * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0, 1.0])
+
+    def test_shared_subexpression(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x
+        (y + y).sum().backward()
+        np.testing.assert_allclose(x.grad, [8.0])
+
+    @given(st.integers(min_value=1, max_value=5), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=20, deadline=None)
+    def test_unbroadcast_preserves_shape(self, rows, cols):
+        a = Tensor(np.ones((rows, cols)), requires_grad=True)
+        b = Tensor(np.ones((cols,)), requires_grad=True)
+        (a * b + b).sum().backward()
+        assert a.grad.shape == (rows, cols)
+        assert b.grad.shape == (cols,)

@@ -1,0 +1,180 @@
+"""Tests and properties for DTW, bipartite matching and Rel(D, T)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column, Table
+from repro.relevance import (
+    RelevanceComputer,
+    dtw_distance,
+    dtw_distance_banded,
+    dtw_path,
+    low_level_relevance,
+    max_weight_matching,
+    max_weight_matching_networkx,
+    znormalize,
+)
+
+series_strategy = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=2, max_size=40
+)
+
+
+class TestDTW:
+    def test_identical_series_distance_zero(self):
+        a = np.sin(np.linspace(0, 6, 50))
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_known_small_case(self):
+        a = np.array([0.0, 1.0, 2.0])
+        b = np.array([0.0, 2.0])
+        # Without normalisation: optimal alignment pairs (0,0), (1,1), (2,1) -> |1-2|=1
+        assert dtw_distance(a, b, normalize=False) == pytest.approx(1.0)
+
+    def test_shift_invariance_with_normalization(self):
+        a = np.sin(np.linspace(0, 6, 40))
+        b = a + 100.0
+        assert dtw_distance(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            dtw_distance(np.array([np.inf]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            dtw_distance(np.ones((2, 2)), np.ones(2))
+
+    def test_banded_matches_exact_when_band_is_wide(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal(30), rng.standard_normal(25)
+        exact = dtw_distance(a, b)
+        banded = dtw_distance_banded(a, b, band=30)
+        assert banded == pytest.approx(exact, rel=1e-9)
+
+    def test_banded_never_below_exact(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            a, b = rng.standard_normal(40), rng.standard_normal(35)
+            assert dtw_distance_banded(a, b, band=3) >= dtw_distance(a, b) - 1e-9
+
+    def test_dtw_path_endpoints(self):
+        a = np.array([0.0, 1.0, 0.0, -1.0])
+        b = np.array([0.0, 1.0, -1.0])
+        distance, path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(a) - 1, len(b) - 1)
+        assert distance >= 0
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_and_non_negativity(self, a, b):
+        a, b = np.asarray(a), np.asarray(b)
+        d_ab = dtw_distance(a, b)
+        d_ba = dtw_distance(b, a)
+        assert d_ab >= 0
+        assert d_ab == pytest.approx(d_ba, rel=1e-9, abs=1e-9)
+
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_self_distance_zero(self, a):
+        a = np.asarray(a)
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_znormalize_constant_series(self):
+        np.testing.assert_allclose(znormalize(np.full(5, 3.0)), np.zeros(5))
+
+
+class TestMatching:
+    def test_simple_assignment(self):
+        weights = np.array([[0.9, 0.1], [0.2, 0.8]])
+        result = max_weight_matching(weights)
+        assert set(result.pairs) == {(0, 0), (1, 1)}
+        assert result.total_weight == pytest.approx(1.7)
+
+    def test_rectangular_matrices(self):
+        weights = np.array([[0.5, 0.9, 0.1]])
+        result = max_weight_matching(weights)
+        assert result.pairs == [(0, 1)]
+        tall = max_weight_matching(weights.T)
+        assert tall.pairs == [(1, 0)]
+
+    def test_zero_weights_not_matched(self):
+        result = max_weight_matching(np.zeros((2, 2)))
+        assert result.pairs == [] and result.total_weight == 0.0
+        assert result.mean_weight == 0.0
+
+    def test_empty_matrix(self):
+        result = max_weight_matching(np.zeros((0, 3)))
+        assert result.pairs == []
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching(np.array([[-1.0]]))
+
+    @given(
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_hungarian_matches_networkx(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.random((rows, cols))
+        hungarian = max_weight_matching(weights)
+        reference = max_weight_matching_networkx(weights)
+        assert hungarian.total_weight == pytest.approx(reference.total_weight, rel=1e-9)
+
+
+class TestRelevance:
+    def test_low_level_relevance_bounds(self):
+        a = np.sin(np.linspace(0, 6, 30))
+        assert low_level_relevance(a, a) == pytest.approx(1.0)
+        other = np.linspace(-5, 5, 30)
+        value = low_level_relevance(a, other)
+        assert 0.0 < value < 1.0
+
+    def test_relevance_prefers_source_table(self, simple_table):
+        data = simple_table.to_underlying_data(["rising", "wave"], x_column="time")
+        n = simple_table.num_rows
+        rng = np.random.default_rng(0)
+        unrelated = Table(
+            "tbl_unrelated",
+            [
+                Column("a", rng.standard_normal(n)),
+                Column("b", rng.standard_normal(n)),
+            ],
+        )
+        computer = RelevanceComputer()
+        assert computer.score(data, simple_table) > computer.score(data, unrelated)
+
+    def test_rank_and_top_k(self, simple_table):
+        data = simple_table.to_underlying_data(["wave"], x_column="time")
+        rng = np.random.default_rng(1)
+        other = Table(
+            "tbl_other", [Column("noise", rng.standard_normal(simple_table.num_rows))]
+        )
+        computer = RelevanceComputer(use_banded_dtw=True)
+        ranked = computer.rank_tables(data, [other, simple_table])
+        assert ranked[0][0] == "tbl_simple"
+        assert computer.top_k(data, [other, simple_table], k=1) == ["tbl_simple"]
+        with pytest.raises(ValueError):
+            computer.top_k(data, [other], k=0)
+
+    def test_mean_aggregate_is_scale_free(self, simple_table):
+        data = simple_table.to_underlying_data(["rising", "wave"], x_column="time")
+        sum_score = RelevanceComputer(aggregate="sum").score(data, simple_table)
+        mean_score = RelevanceComputer(aggregate="mean").score(data, simple_table)
+        assert sum_score == pytest.approx(mean_score * 2, rel=1e-6)
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(ValueError):
+            RelevanceComputer(aggregate="median")
+
+    def test_relevance_explanation_names_columns(self, simple_table):
+        data = simple_table.to_underlying_data(["wave"], x_column="time")
+        result = RelevanceComputer().relevance(data, simple_table)
+        assert "wave" in result.matched_columns(simple_table)
