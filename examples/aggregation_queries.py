@@ -37,11 +37,18 @@ from repro.fcm import (
 
 
 def build_daily_sales_table(num_days: int = 360, seed: int = 3) -> Table:
-    """A synthetic daily-sales table with weekly seasonality and a trend."""
+    """A synthetic daily-sales table with weekly/seasonal cycles and a trend.
+
+    The seasonal (180-day) swing gives the series a distinctive shape that
+    survives both the 30-day aggregation of the query chart and the
+    resampling inside the DTW ground truth; the weekly ripple is kept small
+    for the same reason (a dominant ripple turns the daily series into noise
+    at monthly resolution and no shape-based relevance could recover it).
+    """
     rng = np.random.default_rng(seed)
     day = np.arange(num_days, dtype=float)
-    weekly = 1.0 + 0.3 * np.sin(2 * np.pi * day / 7.0)
-    trend = 1.0 + day / num_days
+    weekly = 1.0 + 0.1 * np.sin(2 * np.pi * day / 7.0)
+    trend = 1.0 + day / num_days + 0.8 * np.sin(2 * np.pi * day / 180.0)
     sales = 100.0 * weekly * trend + rng.normal(0, 5, size=num_days)
     marketing = 20.0 + 10.0 * np.sin(2 * np.pi * day / 90.0) + rng.normal(0, 1, size=num_days)
     return Table(

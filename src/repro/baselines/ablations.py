@@ -46,7 +46,9 @@ class FCMMethod(DiscoveryMethod):
             self.scorer.index_table(table)
 
     def score_chart(self, chart: LineChart) -> Dict[str, float]:
-        return self.scorer.score_chart(chart)
+        # Batched no-grad verification: identical scores to the per-pair
+        # loop, one stacked matcher forward for the whole repository.
+        return self.scorer.score_chart_batch(chart)
 
 
 def fcm_full_config(base: Optional[FCMConfig] = None) -> FCMConfig:

@@ -3,7 +3,10 @@
 Every runner consumes a :class:`~repro.bench.builder.Benchmark` plus a set of
 trained :class:`~repro.baselines.base.DiscoveryMethod` instances and returns a
 plain, JSON-serialisable structure with the same rows/columns the paper
-reports.  The ``benchmarks/`` directory contains one pytest-benchmark target
+reports.  FCM-backed methods score queries through the batched no-grad
+inference path (:meth:`repro.fcm.scorer.FCMScorer.score_chart_batch`), which
+is score-equivalent to the per-pair loop but amortises the matcher over all
+candidate tables at once.  The ``benchmarks/`` directory contains one pytest-benchmark target
 per runner; ``EXPERIMENTS.md`` records paper-vs-measured values.
 
 The experiment *scale* (corpus size, training epochs, k, …) is factored into
@@ -407,7 +410,14 @@ def run_table8(
     lsh_config: Optional[LSHConfig] = None,
     queries: Optional[Sequence[BenchmarkQuery]] = None,
 ) -> Dict[str, Dict[str, float]]:
-    """prec@k, ndcg@k, per-query time and candidate counts per index strategy."""
+    """prec@k, ndcg@k, per-query time and candidate counts per index strategy.
+
+    Candidate verification inside :class:`HybridQueryProcessor` runs the
+    batched no-grad FCM path (one stacked matcher forward for all surviving
+    candidates), so the ``query_seconds`` column reflects the production
+    inference engine rather than a per-pair Python loop; see
+    ``benchmarks/README.md`` for how to read the timing numbers.
+    """
     processor = HybridQueryProcessor(fcm_method.scorer, lsh_config=lsh_config)
     build_stats = processor.index_repository(benchmark.repository.tables)
     queries = list(queries) if queries is not None else benchmark.queries

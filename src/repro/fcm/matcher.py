@@ -30,7 +30,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..nn import MLP, Linear, Module, Tensor, concatenate
+from ..nn import MLP, Linear, Module, Tensor, concatenate, masked_keep, where
 from .config import FCMConfig
 
 
@@ -38,6 +38,20 @@ def _scaled_similarity(queries: Tensor, keys: Tensor) -> Tensor:
     """Scaled dot-product similarity matrix ``(num_q, num_k)``."""
     dim = queries.shape[-1]
     return queries.matmul(keys.swapaxes(-1, -2)) * (1.0 / np.sqrt(dim))
+
+
+def _masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
+    """Per-batch mean of ``values`` restricted to ``mask``, shape ``(B, 1)``.
+
+    ``values`` has shape ``(B, ...)`` and ``mask`` is a boolean array of the
+    same shape; the mean runs over every non-batch axis.  Matches the plain
+    ``.mean()`` of the per-pair path on the unpadded entries.
+    """
+    axes = tuple(range(1, values.ndim))
+    counts = np.asarray(mask, dtype=bool).sum(axis=axes).astype(np.float64)
+    kept = where(mask, values, Tensor(0.0))
+    total = kept.sum(axis=axes)
+    return (total * Tensor(1.0 / np.maximum(counts, 1.0))).reshape(-1, 1)
 
 
 class InteractionHead(Module):
@@ -86,6 +100,36 @@ class InteractionHead(Module):
             parts.append(extra.reshape(self.num_extra_features))
         joint = concatenate(parts, axis=0)
         return self.mlp(joint).sigmoid().squeeze()
+
+    def forward_batch(
+        self,
+        chart_vecs: Tensor,
+        table_vecs: Tensor,
+        extra: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Score ``B`` candidate pairs at once.
+
+        ``chart_vecs`` and ``table_vecs`` have shape ``(B, K)`` and ``extra``
+        (when the head was built with extra features) has shape
+        ``(B, num_extra_features)``.  Returns the ``(B,)`` relevance scores —
+        row ``b`` equals :meth:`forward` on the ``b``-th pair.
+        """
+        product = chart_vecs * table_vecs
+        difference = (chart_vecs - table_vecs).abs()
+        chart_norm = ((chart_vecs * chart_vecs).sum(axis=-1, keepdims=True) + 1e-8) ** 0.5
+        table_norm = ((table_vecs * table_vecs).sum(axis=-1, keepdims=True) + 1e-8) ** 0.5
+        cosine = (chart_vecs * table_vecs).sum(axis=-1, keepdims=True) / (
+            chart_norm * table_norm
+        )
+        parts = [chart_vecs, table_vecs, product, difference, cosine]
+        if self.num_extra_features:
+            if extra is None:
+                raise ValueError(
+                    f"head expects {self.num_extra_features} extra features"
+                )
+            parts.append(extra.reshape(-1, self.num_extra_features))
+        joint = concatenate(parts, axis=-1)
+        return self.mlp(joint).sigmoid().squeeze(axis=-1)
 
 
 class SegmentLevelAttention(Module):
@@ -144,6 +188,74 @@ class SegmentLevelAttention(Module):
         )
         return lines, columns, evidence
 
+    def forward_batch(
+        self,
+        chart_repr: Tensor,
+        table_batch: Tensor,
+        segment_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reconstruct lines/columns for ``B`` candidate tables at once.
+
+        Parameters
+        ----------
+        chart_repr:
+            ``E_V`` of shape ``(M, N1, K)`` — shared by every candidate.
+        table_batch:
+            Stacked, zero-padded ``E_T`` of shape ``(B, NC, N2, K)``.
+        segment_mask:
+            Boolean ``(B, NC, N2)``; True marks real (unpadded) segments.
+
+        Returns
+        -------
+        (lines, columns, evidence):
+            ``lines`` of shape ``(B, M, K)``, ``columns`` of shape
+            ``(B, NC, K)`` and ``evidence`` of shape ``(B, 2)``.  Padded
+            positions are excluded from every max/softmax/mean, so row ``b``
+            matches :meth:`forward` on candidate ``b`` alone.
+        """
+        m, n1, dim = chart_repr.shape
+        b, nc, n2, _ = table_batch.shape
+        chart_flat = chart_repr.reshape(m * n1, dim)
+        table_flat = table_batch.reshape(b, nc * n2, dim)
+        seg_valid = np.asarray(segment_mask, dtype=bool)
+        flat_valid = seg_valid.reshape(b, 1, nc * n2)
+
+        # (M*N1, K) x (B, K, NC*N2) -> (B, M*N1, NC*N2); padded table segments
+        # are pushed to -inf so they can never win a max and get exactly zero
+        # softmax weight (exp(-inf) == 0), which keeps the batched scores
+        # bitwise-comparable to the per-pair path.
+        sim = _scaled_similarity(self.query_proj(chart_flat), self.key_proj(table_flat))
+        sim = masked_keep(sim, flat_valid, -np.inf)
+        sim_chart = sim.reshape(b, m, n1, nc * n2)
+        sim_table = sim.swapaxes(-1, -2).reshape(b, nc, n2, m * n1)
+
+        chart_scores = sim_chart.max(axis=-1)  # (B, M, N1)
+        table_scores = sim_table.max(axis=-1)  # (B, NC, N2); -inf when padded
+
+        chart_weights = chart_scores.softmax(axis=-1).expand_dims(-1)
+        # Rows of fully-padded columns are all -inf, which would make softmax
+        # produce NaN; those columns are discarded later by the column mask,
+        # so any finite placeholder works — use 0.
+        column_alive = seg_valid.any(axis=-1)[..., None]  # (B, NC, 1)
+        table_weights = (
+            masked_keep(table_scores, column_alive, 0.0)
+            .softmax(axis=-1)
+            .expand_dims(-1)
+        )
+
+        chart_values = self.value_proj(chart_repr)  # (M, N1, K)
+        table_values = self.value_proj(table_batch)  # (B, NC, N2, K)
+        lines = (chart_values * chart_weights).sum(axis=2)  # (B, M, K)
+        columns = (table_values * table_weights).sum(axis=2)  # (B, NC, K)
+        evidence = concatenate(
+            [
+                chart_scores.mean(axis=(1, 2)).reshape(-1, 1),
+                _masked_mean(table_scores, seg_valid),
+            ],
+            axis=-1,
+        )
+        return lines, columns, evidence
+
 
 class LineColumnAttention(Module):
     """LL-SAN: reconstruct the chart and table from their best lines/columns."""
@@ -179,6 +291,42 @@ class LineColumnAttention(Module):
         )
         return chart_vec, table_vec, evidence
 
+    def forward_batch(
+        self,
+        lines: Tensor,
+        columns: Tensor,
+        column_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reduce ``(B, M, K)`` lines and ``(B, NC, K)`` columns per candidate.
+
+        ``column_mask`` is a boolean ``(B, NC)`` marking real columns; padded
+        columns are masked out of every max/softmax/mean so row ``b`` matches
+        :meth:`forward` on candidate ``b`` alone.  Returns ``(B, K)`` chart
+        and table vectors plus ``(B, 2)`` evidence.
+        """
+        col_valid = np.asarray(column_mask, dtype=bool)
+        sim = _scaled_similarity(self.query_proj(lines), self.key_proj(columns))
+        sim = masked_keep(sim, col_valid[:, None, :], -np.inf)  # (B, M, NC)
+
+        line_scores = sim.max(axis=-1)  # (B, M)
+        column_scores = sim.swapaxes(-1, -2).max(axis=-1)  # (B, NC); -inf padded
+
+        line_weights = line_scores.softmax(axis=-1).expand_dims(-1)  # (B, M, 1)
+        # Padded columns are -inf, so they receive exactly zero softmax weight;
+        # at least one column per candidate is real, so no row is all -inf.
+        column_weights = column_scores.softmax(axis=-1).expand_dims(-1)  # (B, NC, 1)
+
+        chart_vecs = (self.value_proj(lines) * line_weights).sum(axis=1)  # (B, K)
+        table_vecs = (self.value_proj(columns) * column_weights).sum(axis=1)  # (B, K)
+        evidence = concatenate(
+            [
+                line_scores.mean(axis=-1).reshape(-1, 1),
+                _masked_mean(column_scores, col_valid),
+            ],
+            axis=-1,
+        )
+        return chart_vecs, table_vecs, evidence
+
 
 class HCMANMatcher(Module):
     """The full hierarchical cross-modal attention matcher."""
@@ -195,6 +343,28 @@ class HCMANMatcher(Module):
         evidence = concatenate([segment_evidence, line_evidence], axis=0)
         return self.head(chart_vec, table_vec, extra=evidence)
 
+    def forward_batch(
+        self,
+        chart_repr: Tensor,
+        table_batch: Tensor,
+        segment_mask: np.ndarray,
+        column_mask: np.ndarray,
+    ) -> Tensor:
+        """Score one chart against ``B`` padded candidate tables at once.
+
+        See :meth:`SegmentLevelAttention.forward_batch` for the stacked
+        layout.  Returns the ``(B,)`` relevance scores; row ``b`` equals
+        :meth:`forward` on candidate ``b``.
+        """
+        lines, columns, segment_evidence = self.segment_level.forward_batch(
+            chart_repr, table_batch, segment_mask
+        )
+        chart_vecs, table_vecs, line_evidence = self.line_level.forward_batch(
+            lines, columns, column_mask
+        )
+        evidence = concatenate([segment_evidence, line_evidence], axis=-1)
+        return self.head.forward_batch(chart_vecs, table_vecs, extra=evidence)
+
 
 class AveragedMatcher(Module):
     """FCM−HCMAN ablation: mean-pool everything, then the same interaction head."""
@@ -207,6 +377,26 @@ class AveragedMatcher(Module):
         chart_vec = chart_repr.mean(axis=(0, 1))
         table_vec = table_repr.mean(axis=(0, 1))
         return self.head(chart_vec, table_vec)
+
+    def forward_batch(
+        self,
+        chart_repr: Tensor,
+        table_batch: Tensor,
+        segment_mask: np.ndarray,
+        column_mask: np.ndarray,
+    ) -> Tensor:
+        """Batched mean-pool scoring over ``B`` padded candidates, ``(B,)``."""
+        del column_mask  # segment_mask already covers padded columns entirely
+        b = table_batch.shape[0]
+        seg_valid = np.asarray(segment_mask, dtype=bool)
+        chart_vec = chart_repr.mean(axis=(0, 1))  # (K,), shared by the batch
+        chart_vecs = chart_vec.expand_dims(0) + Tensor(np.zeros((b, 1)))
+        # Masked mean over the real (column, segment) cells of each candidate.
+        counts = seg_valid.sum(axis=(1, 2)).astype(np.float64)  # (B,)
+        table_vecs = (table_batch * Tensor(seg_valid[..., None].astype(np.float64))).sum(
+            axis=(1, 2)
+        ) * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+        return self.head.forward_batch(chart_vecs, table_vecs)
 
 
 def build_matcher(config: FCMConfig, rng: np.random.Generator) -> Module:

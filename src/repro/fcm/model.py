@@ -53,6 +53,25 @@ class FCMModel(Module):
         """``Rel'(V, T)`` as a scalar tensor in ``[0, 1]``."""
         return self.matcher(chart_repr, table_repr)
 
+    def match_batch(
+        self,
+        chart_repr: Tensor,
+        table_batch: Tensor,
+        segment_mask: np.ndarray,
+        column_mask: np.ndarray,
+    ) -> Tensor:
+        """``Rel'(V, T_b)`` for ``B`` stacked candidates, shape ``(B,)``.
+
+        ``table_batch`` holds zero-padded table representations of shape
+        ``(B, NC, N2, K)``; ``segment_mask``/``column_mask`` mark the real
+        ``(B, NC, N2)`` segments and ``(B, NC)`` columns.  One stacked matcher
+        forward replaces ``B`` per-pair :meth:`match` calls and returns the
+        same scores (padding never wins a max and gets zero softmax weight).
+        """
+        return self.matcher.forward_batch(
+            chart_repr, table_batch, segment_mask, column_mask
+        )
+
     def forward(self, chart_input: ChartInput, table_input: TableInput) -> Tensor:
         return self.match(self.encode_chart(chart_input), self.encode_table(table_input))
 
@@ -60,14 +79,16 @@ class FCMModel(Module):
     # Inference helpers (no gradient bookkeeping needed by callers)
     # ------------------------------------------------------------------ #
     def relevance(self, chart_input: ChartInput, table_input: TableInput) -> float:
-        """Scalar relevance score for one (chart, table) pair."""
-        return float(self.forward(chart_input, table_input).item())
+        """Scalar relevance score for one (chart, table) pair (no gradients)."""
+        with self.inference():
+            return float(self.forward(chart_input, table_input).item())
 
     def column_embeddings(self, table_input: TableInput) -> np.ndarray:
         """Column-level embeddings for the LSH index, shape ``(NC, K)``."""
-        return self.dataset_encoder.column_embeddings(table_input.segments)
+        with self.inference():
+            return self.dataset_encoder.column_embeddings(table_input.segments)
 
     def line_embeddings(self, chart_input: ChartInput) -> np.ndarray:
         """Line-level embeddings (mean over segments), shape ``(M, K)``."""
-        encoded = self.encode_chart(chart_input)
-        return encoded.numpy().mean(axis=1)
+        with self.inference():
+            return self.encode_chart(chart_input).numpy().mean(axis=1)

@@ -7,10 +7,32 @@ The scorer wraps the trained FCM model with the pieces a deployment needs:
   the (cheap) cross-modal matcher runs per (query, table) pair;
 * the y-tick column filter of Sec. IV-C, applied by *selecting* the cached
   column representations whose value range overlaps the query's y range.
+
+Inference contract
+------------------
+All scoring entry points run under :meth:`repro.nn.Module.inference` — the
+model is switched to eval mode and no autodiff graph is built (see the
+inference-mode notes in :mod:`repro.nn.tensor`).  This is safe because query
+scores are never differentiated; training goes through
+:class:`~repro.fcm.training.FCMTrainer`, which calls the model directly.
+
+Two scoring paths produce identical results:
+
+* :meth:`FCMScorer.score_pair` / :meth:`FCMScorer.score_chart` — the per-pair
+  reference path, one matcher forward per candidate table;
+* :meth:`FCMScorer.score_chart_batch` — the batched path: the cached table
+  representations of *all* candidates are stacked (zero-padded) along a new
+  candidate axis and one matcher forward scores every candidate at once.
+  Padded cells are excluded from every max/softmax/mean inside the matcher,
+  so the scores match the per-pair path to floating-point accuracy.
+
+:meth:`FCMScorer.rank` and the index layer use the batched path; the per-pair
+path remains the ground truth the equivalence tests compare against.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -24,6 +46,33 @@ from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
 from .model import FCMModel
 from .preprocessing import ChartInput, prepare_chart_input, prepare_table_input
+
+
+def pad_candidate_batch(
+    representations: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stack per-table ``(NC_i, N2_i, K)`` representations into one batch.
+
+    Candidates are zero-padded to the largest column/segment counts in the
+    batch.  Returns ``(batch, segment_mask, column_mask)`` where ``batch`` has
+    shape ``(B, NC_max, N2_max, K)``, ``segment_mask`` is boolean
+    ``(B, NC_max, N2_max)`` marking real segments and ``column_mask`` is
+    boolean ``(B, NC_max)`` marking real columns.
+    """
+    if not representations:
+        raise ValueError("cannot build a batch from zero candidates")
+    dim = representations[0].shape[-1]
+    nc_max = max(rep.shape[0] for rep in representations)
+    n2_max = max(rep.shape[1] for rep in representations)
+    batch = np.zeros((len(representations), nc_max, n2_max, dim))
+    segment_mask = np.zeros((len(representations), nc_max, n2_max), dtype=bool)
+    column_mask = np.zeros((len(representations), nc_max), dtype=bool)
+    for i, rep in enumerate(representations):
+        nc, n2, _ = rep.shape
+        batch[i, :nc, :n2] = rep
+        segment_mask[i, :nc, :n2] = True
+        column_mask[i, :nc] = True
+    return batch, segment_mask, column_mask
 
 
 @dataclass
@@ -40,6 +89,9 @@ class EncodedTable:
 class FCMScorer:
     """Ranks candidate tables for line chart queries using a trained FCM."""
 
+    #: Number of recently prepared query charts memoised by :meth:`prepare_query`.
+    QUERY_CACHE_SIZE = 16
+
     def __init__(
         self,
         model: FCMModel,
@@ -49,6 +101,12 @@ class FCMScorer:
         self.config: FCMConfig = model.config
         self.extractor = extractor or VisualElementExtractor()
         self._encoded: Dict[str, EncodedTable] = {}
+        # Maps id(chart) -> (chart, ChartInput).  Holding the chart reference
+        # keeps the id stable; preprocessing is model-independent, so entries
+        # never go stale even while the model trains.
+        self._query_cache: "OrderedDict[int, Tuple[LineChart, ChartInput]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------ #
     # Table indexing
@@ -57,9 +115,9 @@ class FCMScorer:
         """Encode ``table`` once and cache the result."""
         if table.table_id in self._encoded:
             return self._encoded[table.table_id]
-        self.model.eval()
         table_input = prepare_table_input(table, self.config)
-        representations = self.model.encode_table(table_input).numpy()
+        with self.model.inference():
+            representations = self.model.encode_table(table_input).numpy()
         encoded = EncodedTable(
             table_id=table.table_id,
             representations=representations,
@@ -87,15 +145,38 @@ class FCMScorer:
     # ------------------------------------------------------------------ #
     # Query processing
     # ------------------------------------------------------------------ #
+    def clear_query_cache(self) -> None:
+        """Drop all memoised query preparations (see :meth:`prepare_query`)."""
+        self._query_cache.clear()
+
     def prepare_query(self, chart: LineChart) -> ChartInput:
-        """Extract visual elements and build the chart encoder input."""
+        """Extract visual elements and build the chart encoder input.
+
+        Results are memoised per chart object (small LRU): a single query is
+        prepared once even when it is scored under several index strategies
+        or against several candidate batches.  The cache assumes charts are
+        immutable once scored — every in-repo producer returns a fresh
+        :class:`LineChart` — so a caller that mutates a chart in place must
+        call :meth:`clear_query_cache` (or pass a new object) before
+        re-scoring it.
+        """
+        key = id(chart)
+        hit = self._query_cache.get(key)
+        if hit is not None and hit[0] is chart:
+            self._query_cache.move_to_end(key)
+            return hit[1]
         elements = self.extractor.extract(chart)
-        return prepare_chart_input(chart, elements, self.config)
+        chart_input = prepare_chart_input(chart, elements, self.config)
+        self._query_cache[key] = (chart, chart_input)
+        while len(self._query_cache) > self.QUERY_CACHE_SIZE:
+            self._query_cache.popitem(last=False)
+        return chart_input
 
     def query_line_embeddings(self, chart: LineChart) -> np.ndarray:
         """Line-level embeddings of a query chart (for the LSH index)."""
         chart_input = self.prepare_query(chart)
-        return self.model.line_embeddings(chart_input)
+        with self.model.inference():
+            return self.model.line_embeddings(chart_input)
 
     def _select_columns(
         self, encoded: EncodedTable, y_range: Tuple[float, float]
@@ -115,25 +196,74 @@ class FCMScorer:
 
     def score_pair(self, chart_input: ChartInput, encoded: EncodedTable) -> float:
         """Relevance of one query against one cached table."""
-        self.model.eval()
-        chart_repr = self.model.encode_chart(chart_input)
-        table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
-        return float(self.model.match(chart_repr, table_repr).item())
+        with self.model.inference():
+            chart_repr = self.model.encode_chart(chart_input)
+            table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+            return float(self.model.match(chart_repr, table_repr).item())
 
     def score_chart(
         self,
         chart: LineChart,
         table_ids: Optional[Sequence[str]] = None,
     ) -> Dict[str, float]:
-        """Relevance of ``chart`` against the (subset of the) indexed tables."""
+        """Relevance against the indexed tables, one matcher call per table.
+
+        This is the per-pair reference path; :meth:`score_chart_batch` returns
+        the same scores with one stacked matcher call and is what the ranking
+        and index layers use.
+        """
         chart_input = self.prepare_query(chart)
-        chart_repr = self.model.encode_chart(chart_input)
         ids = list(table_ids) if table_ids is not None else self.indexed_table_ids
         scores: Dict[str, float] = {}
-        for table_id in ids:
-            encoded = self.encoded_table(table_id)
-            table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
-            scores[table_id] = float(self.model.match(chart_repr, table_repr).item())
+        with self.model.inference():
+            chart_repr = self.model.encode_chart(chart_input)
+            for table_id in ids:
+                encoded = self.encoded_table(table_id)
+                table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+                scores[table_id] = float(self.model.match(chart_repr, table_repr).item())
+        return scores
+
+    def score_chart_batch(
+        self,
+        chart: LineChart,
+        table_ids: Optional[Sequence[str]] = None,
+        batch_size: Optional[int] = 256,
+    ) -> Dict[str, float]:
+        """Relevance against the indexed tables via one stacked matcher call.
+
+        The chart is encoded once; the cached (column-filtered) table
+        representations of every candidate are zero-padded into a
+        ``(B, NC_max, N2_max, K)`` batch and scored by a single
+        :meth:`FCMModel.match_batch` forward.  Scores match
+        :meth:`score_chart` to floating-point accuracy.
+
+        Parameters
+        ----------
+        batch_size:
+            Upper bound on candidates scored per stacked forward (bounds the
+            padded batch memory); ``None`` scores all candidates in one call.
+        """
+        chart_input = self.prepare_query(chart)
+        ids = list(table_ids) if table_ids is not None else self.indexed_table_ids
+        if not ids:
+            return {}
+        scores: Dict[str, float] = {}
+        chunk = len(ids) if not batch_size else max(1, int(batch_size))
+        with self.model.inference():
+            chart_repr = self.model.encode_chart(chart_input)
+            for start in range(0, len(ids), chunk):
+                chunk_ids = ids[start : start + chunk]
+                selected = [
+                    self._select_columns(self.encoded_table(tid), chart_input.y_range)
+                    for tid in chunk_ids
+                ]
+                batch, segment_mask, column_mask = pad_candidate_batch(selected)
+                batch_scores = self.model.match_batch(
+                    chart_repr, Tensor(batch), segment_mask, column_mask
+                ).numpy()
+                batch_scores = np.atleast_1d(batch_scores)
+                for table_id, score in zip(chunk_ids, batch_scores):
+                    scores[table_id] = float(score)
         return scores
 
     def rank(
@@ -143,7 +273,7 @@ class FCMScorer:
         table_ids: Optional[Sequence[str]] = None,
     ) -> List[Tuple[str, float]]:
         """Top-``k`` (table_id, score) pairs for the query chart."""
-        scores = self.score_chart(chart, table_ids=table_ids)
+        scores = self.score_chart_batch(chart, table_ids=table_ids)
         ranked = sorted(scores.items(), key=lambda item: item[1], reverse=True)
         return ranked if k is None else ranked[:k]
 

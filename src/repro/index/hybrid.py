@@ -156,7 +156,9 @@ class HybridQueryProcessor:
             # An over-aggressive filter should degrade, not crash: fall back
             # to verifying everything (still counted in the timing).
             candidate_ids = set(self._tables.keys())
-        scores = self.scorer.score_chart(chart, table_ids=sorted(candidate_ids))
+        # FCM verification runs the batched no-grad path: one stacked matcher
+        # forward scores every surviving candidate at once.
+        scores = self.scorer.score_chart_batch(chart, table_ids=sorted(candidate_ids))
         ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:k]
         elapsed = time.perf_counter() - start
         return QueryResult(

@@ -7,7 +7,12 @@ paper (linear projections, layer norm, MLPs, multi-head attention, transformer
 encoders), optimizers and losses.
 """
 
-from .attention import CrossAttention, MultiHeadSelfAttention, scaled_dot_product_attention
+from .attention import (
+    CrossAttention,
+    MultiHeadSelfAttention,
+    masked_keep,
+    scaled_dot_product_attention,
+)
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, PositionalEmbedding
 from .losses import (
     balanced_binary_cross_entropy,
@@ -19,7 +24,15 @@ from .losses import (
 from .module import Module, ModuleList, Parameter, Sequential
 from .optim import Adam, CosineAnnealingLR, GradientClipper, Optimizer, SGD, StepLR
 from .serialization import load_state_dict, save_state_dict
-from .tensor import Tensor, concatenate, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    enable_grad,
+    is_grad_enabled,
+    no_grad,
+    stack,
+    where,
+)
 from .transformer import FeedForward, TransformerEncoder, TransformerEncoderLayer
 
 __all__ = [
@@ -50,8 +63,12 @@ __all__ = [
     "concatenate",
     "contrastive_cosine_loss",
     "cross_entropy",
+    "enable_grad",
+    "is_grad_enabled",
     "load_state_dict",
+    "masked_keep",
     "mse_loss",
+    "no_grad",
     "save_state_dict",
     "scaled_dot_product_attention",
     "stack",

@@ -23,7 +23,23 @@ import numpy as np
 
 from .layers import Dropout, Linear
 from .module import Module
-from .tensor import Tensor
+from .tensor import Tensor, where
+
+
+def masked_keep(values: Tensor, keep: np.ndarray, fill: float) -> Tensor:
+    """Keep positions where ``keep`` is True; replace the rest by ``fill``.
+
+    The building block of padding-aware batched attention: filling with
+    ``-inf`` excludes positions from subsequent ``max``/``softmax`` *exactly*
+    (the losing max candidates are ``-inf`` and ``exp(-inf) == 0``), which is
+    what keeps the batched matcher score-identical to its per-pair
+    counterpart.  Differentiable: filled positions receive zero gradient.
+
+    Note the convention: ``keep`` is a *validity* mask (True = real data), the
+    opposite of ``torch.Tensor.masked_fill``, whose mask marks the positions
+    to overwrite — hence the different name.
+    """
+    return where(np.asarray(keep, dtype=bool), values, Tensor(fill))
 
 
 def scaled_dot_product_attention(

@@ -9,11 +9,12 @@ and ``train()`` / ``eval()`` toggle behaviour of layers such as dropout.
 from __future__ import annotations
 
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
@@ -101,6 +102,23 @@ class Module:
         """Clear gradients on every parameter."""
         for param in self.parameters():
             param.zero_grad()
+
+    @contextmanager
+    def inference(self):
+        """Evaluation mode + :class:`~repro.nn.tensor.no_grad`, restored on exit.
+
+        The standard wrapper for query-time forward passes: dropout is
+        disabled and no computation graph is built, and the module's previous
+        training mode is reinstated afterwards so a trainer can interleave
+        evaluation callbacks without bookkeeping.
+        """
+        was_training = self.training
+        self.eval()
+        try:
+            with no_grad():
+                yield self
+        finally:
+            self.train(was_training)
 
     # ------------------------------------------------------------------ #
     # Serialisation

@@ -18,6 +18,25 @@ Only the operations needed by the FCM reproduction (linear layers, layer
 normalisation, multi-head attention, MLPs, the losses in the paper) are
 implemented, but they are implemented with full broadcasting support so the
 modules built on top read like their PyTorch counterparts.
+
+Inference mode
+--------------
+Query-time scoring never calls :meth:`Tensor.backward`, so building the tape
+is pure overhead.  Inside a :class:`no_grad` block every operation returns a
+plain ``Tensor`` *before* allocating its backward closure or parent tuple:
+
+* no computation graph is constructed (outputs have no ``_parents`` and no
+  ``_backward``), so intermediate activations become garbage immediately;
+* outputs have ``requires_grad=False`` even when an input is a trainable
+  :class:`~repro.nn.module.Parameter`;
+* the forward *values* are bitwise identical to grad mode — the same NumPy
+  expressions run either way, only the bookkeeping is skipped.
+
+The contract is therefore: it is safe to wrap any forward computation whose
+output will never be differentiated.  Calling ``backward()`` on a tensor
+produced under ``no_grad`` raises, exactly like any ``requires_grad=False``
+tensor.  :class:`enable_grad` restores tracking inside a ``no_grad`` region
+(used, e.g., by evaluation callbacks that fine-tune mid-inference).
 """
 
 from __future__ import annotations
@@ -27,6 +46,61 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# Global switch consulted by every op before it records the tape.  Mutated
+# only by the no_grad / enable_grad context managers below.
+_GRAD_ENABLED: bool = True
+
+
+def is_grad_enabled() -> bool:
+    """Whether operations currently record the computation graph."""
+    return _GRAD_ENABLED
+
+
+class _GradMode:
+    """Context manager / decorator flipping the global grad-tracking switch.
+
+    Instances are reentrant: each ``__enter__`` pushes the outer state onto a
+    per-instance stack, so one instance may be reused (even nested within
+    itself) without clobbering the state it has to restore.
+    """
+
+    _enabled: bool = True
+
+    def __init__(self) -> None:
+        self._outer: list[bool] = []
+
+    def __enter__(self) -> "_GradMode":
+        global _GRAD_ENABLED
+        self._outer.append(_GRAD_ENABLED)
+        _GRAD_ENABLED = self._enabled
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        global _GRAD_ENABLED
+        _GRAD_ENABLED = self._outer.pop()
+        return False
+
+    def __call__(self, fn: Callable) -> Callable:
+        def wrapper(*args, **kwargs):
+            with type(self)():
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = getattr(fn, "__name__", "wrapped")
+        wrapper.__doc__ = fn.__doc__
+        return wrapper
+
+
+class no_grad(_GradMode):
+    """Disable graph construction inside the block (or decorated function)."""
+
+    _enabled = False
+
+
+class enable_grad(_GradMode):
+    """Re-enable graph construction inside a ``no_grad`` region."""
+
+    _enabled = True
 
 
 def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
@@ -156,17 +230,30 @@ class Tensor:
         else:
             self.grad = self.grad + grad
 
-    @classmethod
-    def _make(
-        cls,
+    def _tracked(self, *others: "Tensor") -> bool:
+        """Whether an op on ``(self, *others)`` must join the autodiff graph.
+
+        Checked *before* the backward closure is allocated, so inference under
+        :class:`no_grad` (or on plain ``requires_grad=False`` inputs) skips
+        graph construction entirely rather than building and discarding it.
+        """
+        if not _GRAD_ENABLED:
+            return False
+        if self.requires_grad:
+            return True
+        for other in others:
+            if other.requires_grad:
+                return True
+        return False
+
+    def _graph(
+        self,
         data: np.ndarray,
         parents: Tuple["Tensor", ...],
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires_grad = any(p.requires_grad for p in parents)
-        if not requires_grad:
-            return cls(data)
-        return cls(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+        """Wrap ``data`` as a graph node (callers must have checked _tracked)."""
+        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -223,33 +310,39 @@ class Tensor:
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data + other.data
+        if not self._tracked(other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
             other._accumulate(grad)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return self._graph(out_data, (self, other), backward)
 
     def __radd__(self, other: ArrayLike) -> "Tensor":
         return self.__add__(other)
 
     def __neg__(self) -> "Tensor":
         out_data = -self.data
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data - other.data
+        if not self._tracked(other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
             other._accumulate(-grad)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return self._graph(out_data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__sub__(self)
@@ -257,12 +350,14 @@ class Tensor:
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data * other.data
+        if not self._tracked(other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * other.data)
             other._accumulate(grad * self.data)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return self._graph(out_data, (self, other), backward)
 
     def __rmul__(self, other: ArrayLike) -> "Tensor":
         return self.__mul__(other)
@@ -270,12 +365,14 @@ class Tensor:
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         other = self._ensure(other)
         out_data = self.data / other.data
+        if not self._tracked(other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / other.data)
             other._accumulate(-grad * self.data / (other.data ** 2))
 
-        return Tensor._make(out_data, (self, other), backward)
+        return self._graph(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return Tensor(other).__truediv__(self)
@@ -284,11 +381,13 @@ class Tensor:
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data ** exponent
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def __matmul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         return self.matmul(other)
@@ -297,6 +396,8 @@ class Tensor:
         """Batched matrix multiplication with broadcasting over batch dims."""
         other = self._ensure(other)
         out_data = self.data @ other.data
+        if not self._tracked(other):
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
@@ -323,68 +424,82 @@ class Tensor:
             self._accumulate(grad_a)
             other._accumulate(grad_b)
 
-        return Tensor._make(out_data, (self, other), backward)
+        return self._graph(out_data, (self, other), backward)
 
     # ------------------------------------------------------------------ #
     # Elementwise functions
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data ** 2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
         mask = self.data > 0
         out_data = self.data * mask
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
         out_data = np.where(mask, self.data, negative_slope * self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.where(mask, 1.0, negative_slope))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
@@ -393,6 +508,8 @@ class Tensor:
         inner = c * (x + 0.044715 * x ** 3)
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             sech2 = 1.0 - tanh_inner ** 2
@@ -400,30 +517,36 @@ class Tensor:
             local = 0.5 * (1.0 + tanh_inner) + 0.5 * x * sech2 * d_inner
             self._accumulate(grad * local)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.sign(self.data))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def clip(self, min_value: float, max_value: float) -> "Tensor":
         out_data = np.clip(self.data, min_value, max_value)
+        if not self._tracked():
+            return Tensor(out_data)
         mask = (self.data >= min_value) & (self.data <= max_value)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
@@ -435,7 +558,7 @@ class Tensor:
                 expanded = np.broadcast_to(grad_arr, self.data.shape)
             self._accumulate(expanded)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -452,6 +575,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
@@ -466,7 +591,7 @@ class Tensor:
             grad_expanded = grad_arr if keepdims else np.expand_dims(grad_arr, axis=axis)
             self._accumulate(np.broadcast_to(grad_expanded, self.data.shape) * mask / count)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def min(self, axis=None, keepdims: bool = False) -> "Tensor":
         return -((-self).max(axis=axis, keepdims=keepdims))
@@ -478,12 +603,14 @@ class Tensor:
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
+        if not self._tracked():
+            return Tensor(out_data)
         original_shape = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_as_array(grad).reshape(original_shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def flatten(self) -> "Tensor":
         return self.reshape(-1)
@@ -494,47 +621,57 @@ class Tensor:
         if not axes:
             axes = tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(axes)
+        if not self._tracked():
+            return Tensor(out_data)
         inverse = tuple(np.argsort(axes))
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_as_array(grad).transpose(inverse))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         out_data = np.swapaxes(self.data, axis1, axis2)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.swapaxes(_as_array(grad), axis1, axis2))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
             np.add.at(full, index, _as_array(grad))
             self._accumulate(full)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def expand_dims(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self.data, axis)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(_as_array(grad), axis=axis))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         out_data = np.squeeze(self.data, axis=axis)
+        if not self._tracked():
+            return Tensor(out_data)
         original_shape = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(_as_array(grad).reshape(original_shape))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # Softmax and normalisation
@@ -543,18 +680,22 @@ class Tensor:
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exps = np.exp(shifted)
         out_data = exps / exps.sum(axis=axis, keepdims=True)
+        if not self._tracked():
+            return Tensor(out_data)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
             dot = (grad_arr * out_data).sum(axis=axis, keepdims=True)
             self._accumulate(out_data * (grad_arr - dot))
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
         out_data = shifted - log_sum
+        if not self._tracked():
+            return Tensor(out_data)
         softmax_vals = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -562,7 +703,7 @@ class Tensor:
             total = grad_arr.sum(axis=axis, keepdims=True)
             self._accumulate(grad_arr - softmax_vals * total)
 
-        return Tensor._make(out_data, (self,), backward)
+        return self._graph(out_data, (self,), backward)
 
     # ------------------------------------------------------------------ #
     # Factory helpers
@@ -583,10 +724,17 @@ class Tensor:
         return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 
+def _any_tracked(tensors: Sequence[Tensor]) -> bool:
+    """Whether an op over ``tensors`` must join the autodiff graph."""
+    return _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+
+
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` (differentiable)."""
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    if not _any_tracked(tensors):
+        return Tensor(out_data)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -597,20 +745,22 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             slicer[axis] = slice(start, end)
             tensor._accumulate(grad_arr[tuple(slicer)])
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` (differentiable)."""
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
+    if not _any_tracked(tensors):
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         grad_arr = _as_array(grad)
         for i, tensor in enumerate(tensors):
             tensor._accumulate(np.take(grad_arr, i, axis=axis))
 
-    return Tensor._make(out_data, tuple(tensors), backward)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward)
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
@@ -619,10 +769,12 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     b = Tensor._ensure(b)
     cond = np.asarray(condition, dtype=bool)
     out_data = np.where(cond, a.data, b.data)
+    if not _any_tracked((a, b)):
+        return Tensor(out_data)
 
     def backward(grad: np.ndarray) -> None:
         grad_arr = _as_array(grad)
         a._accumulate(np.where(cond, grad_arr, 0.0))
         b._accumulate(np.where(cond, 0.0, grad_arr))
 
-    return Tensor._make(out_data, (a, b), backward)
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward)

@@ -1,6 +1,12 @@
 """``repro.relevance`` — ground-truth relevance: DTW, matching, Rel(D, T)."""
 
-from .dtw import dtw_distance, dtw_distance_banded, dtw_path, znormalize
+from .dtw import (
+    dtw_distance,
+    dtw_distance_banded,
+    dtw_distance_reference,
+    dtw_path,
+    znormalize,
+)
 from .matching import MatchingResult, max_weight_matching, max_weight_matching_networkx
 from .relevance import RelevanceComputer, RelevanceScore, low_level_relevance
 
@@ -10,6 +16,7 @@ __all__ = [
     "RelevanceScore",
     "dtw_distance",
     "dtw_distance_banded",
+    "dtw_distance_reference",
     "dtw_path",
     "low_level_relevance",
     "max_weight_matching",

@@ -1,7 +1,8 @@
 """Shared fixtures: small corpora, charts and model configurations.
 
-Everything here is deliberately tiny so the full unit-test suite runs in a
-few minutes on a laptop CPU; the benchmark directory uses larger scales.
+Everything here is deliberately tiny so the full unit-test suite runs in well
+under a minute on a laptop CPU (and ``-m "not slow"`` in seconds); the
+benchmark directory uses larger scales.  See ``pytest.ini`` for the tiers.
 """
 
 from __future__ import annotations
@@ -28,9 +29,13 @@ def rng() -> np.random.Generator:
 
 @pytest.fixture(scope="session")
 def small_records():
-    """A handful of line-chart corpus records shared across tests."""
+    """A handful of line-chart corpus records shared across tests.
+
+    Sized to the largest slice any test takes (``small_records[:6]``) plus
+    headroom; bigger corpora only add fixture-build time.
+    """
     records = generate_corpus(
-        CorpusConfig(num_records=14, min_rows=80, max_rows=140, seed=3)
+        CorpusConfig(num_records=10, min_rows=80, max_rows=120, seed=3)
     )
     return filter_line_chart_records(records)
 

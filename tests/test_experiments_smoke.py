@@ -29,6 +29,9 @@ from repro.bench import (
 from repro.bench.experiments import LINE_BUCKETS, WINDOW_BUCKETS
 from repro.index import LSHConfig
 
+# Trains several models per session: the bulk of the unit suite's wall time.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def scale():

@@ -87,6 +87,7 @@ class TestTrainingData:
             assert matrix[i, j] == pytest.approx(matrix[i].max(), rel=1e-6)
 
 
+@pytest.mark.slow
 class TestTrainer:
     @pytest.fixture(scope="class")
     def trained(self, small_records, tiny_fcm_config):

@@ -20,6 +20,9 @@ from repro.fcm import FCMModel, FCMScorer
 from repro.index import HybridQueryProcessor, LSHConfig
 from repro.vision import VisualElementExtractor
 
+# Full corpus→training→retrieval pipeline: the slowest tier of the unit suite.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def scale():

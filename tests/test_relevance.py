@@ -12,6 +12,7 @@ from repro.relevance import (
     RelevanceComputer,
     dtw_distance,
     dtw_distance_banded,
+    dtw_distance_reference,
     dtw_path,
     low_level_relevance,
     max_weight_matching,
@@ -86,6 +87,76 @@ class TestDTW:
 
     def test_znormalize_constant_series(self):
         np.testing.assert_allclose(znormalize(np.full(5, 3.0)), np.zeros(5))
+
+
+class TestDTWVectorized:
+    """The anti-diagonal sweep must reproduce the scalar reference exactly."""
+
+    def test_matches_reference_on_random_series(self):
+        rng = np.random.default_rng(42)
+        for _ in range(50):
+            n, m = rng.integers(1, 50, size=2)
+            a, b = rng.standard_normal(int(n)), rng.standard_normal(int(m))
+            assert dtw_distance(a, b) == dtw_distance_reference(a, b)
+            assert dtw_distance(a, b, normalize=False) == dtw_distance_reference(
+                a, b, normalize=False
+            )
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_property(self, a, b):
+        a, b = np.asarray(a), np.asarray(b)
+        assert dtw_distance(a, b) == pytest.approx(
+            dtw_distance_reference(a, b), rel=1e-12, abs=1e-12
+        )
+
+    @given(series_strategy, series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, a, b):
+        a, b = np.asarray(a), np.asarray(b)
+        assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a), abs=1e-12)
+
+    @given(series_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_zero_self_distance(self, a):
+        a = np.asarray(a)
+        assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-9)
+
+    def test_degenerate_lengths(self):
+        assert dtw_distance(
+            np.array([3.0]), np.array([1.0, 2.0]), normalize=False
+        ) == dtw_distance_reference(np.array([3.0]), np.array([1.0, 2.0]), normalize=False)
+        assert dtw_distance(np.array([2.0]), np.array([2.0]), normalize=False) == 0.0
+
+    def test_full_band_is_exact(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            n, m = rng.integers(2, 40, size=2)
+            a, b = rng.standard_normal(int(n)), rng.standard_normal(int(m))
+            exact = dtw_distance(a, b)
+            assert dtw_distance_banded(a, b, band=max(int(n), int(m))) == pytest.approx(
+                exact, rel=1e-12, abs=1e-12
+            )
+
+    def test_band_at_least_length_difference_is_finite_upper_bound(self):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            n, m = rng.integers(2, 40, size=2)
+            a, b = rng.standard_normal(int(n)), rng.standard_normal(int(m))
+            banded = dtw_distance_banded(a, b, band=abs(int(n) - int(m)))
+            exact = dtw_distance(a, b)
+            assert np.isfinite(banded)
+            assert banded >= exact - 1e-9
+
+    def test_path_distance_matches_vectorized_distance(self):
+        rng = np.random.default_rng(5)
+        a, b = rng.standard_normal(25), rng.standard_normal(31)
+        distance, path = dtw_path(a, b)
+        assert distance == pytest.approx(dtw_distance(a, b), abs=1e-12)
+        # Path is monotone and contiguous.
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert 0 <= i1 - i0 <= 1 and 0 <= j1 - j0 <= 1
+            assert (i1 - i0) + (j1 - j0) >= 1
 
 
 class TestMatching:
