@@ -10,11 +10,15 @@ corpus sized for a laptop:
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
+
+``REPRO_QUICKSTART_EPOCHS`` overrides the training budget (CI runs this
+script with 2 epochs on every push so the README's quickstart cannot rot).
 """
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro.charts import render_chart_for_table
@@ -33,11 +37,12 @@ def main() -> None:
 
     print("== 2. Training FCM (scaled configuration) ==")
     config = FCMConfig()  # 32-dim, 2-layer transformers; see FCMConfig for knobs
+    epochs = int(os.environ.get("REPRO_QUICKSTART_EPOCHS", "8"))
     start = time.perf_counter()
     model, history, _ = train_fcm(
         train_records,
         config=config,
-        trainer_config=TrainerConfig(epochs=8, batch_size=8, num_negatives=3),
+        trainer_config=TrainerConfig(epochs=epochs, batch_size=8, num_negatives=3),
         aggregated_fraction=0.5,
     )
     print(f"   trained for {len(history.epochs)} epochs in {time.perf_counter() - start:.0f}s; "

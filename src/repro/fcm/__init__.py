@@ -20,7 +20,12 @@ from .preprocessing import (
     prepare_table_input,
     resample_series,
 )
-from .sampling import NEGATIVE_STRATEGIES, batch_indices, select_negatives
+from .sampling import (
+    NEGATIVE_STRATEGIES,
+    batch_indices,
+    select_negatives,
+    select_negatives_batch,
+)
 from .scorer import EncodedTable, FCMScorer, build_scorer_for_repository
 from .training import (
     EpochStats,
@@ -70,5 +75,6 @@ __all__ = [
     "relevance_matrix",
     "resample_series",
     "select_negatives",
+    "select_negatives_batch",
     "train_fcm",
 ]

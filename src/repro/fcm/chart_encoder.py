@@ -10,7 +10,7 @@ segment sequence.  The output for a chart with ``M`` lines is
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -72,3 +72,47 @@ class SegmentLineChartEncoder(Module):
         # while the Python-level op count stays independent of M.
         embedded = self.patch_projection(Tensor(features))
         return self.encoder(embedded)
+
+    def forward_many(self, charts_segment_features: Sequence[np.ndarray]) -> List[Tensor]:
+        """Encode several charts in one stacked transformer call.
+
+        All charts prepared under one :class:`~repro.fcm.config.FCMConfig`
+        share the same segment count ``N1`` and feature size ``F1`` (both are
+        derived from the chart geometry), so their ``(M_i, N1, F1)`` feature
+        blocks concatenate along the line axis into one ``(ΣM_i, N1, F1)``
+        batch.  Lines never attend across charts — the transformer treats the
+        leading axis as a batch dimension — so the returned per-chart
+        ``(M_i, N1, K)`` tensors equal :meth:`forward` on each chart alone,
+        while the Python-level op count is independent of the number of
+        charts.  Differentiable: the split is a sliced view into the shared
+        graph node.
+
+        Example
+        -------
+        >>> reprs = encoder.forward_many([chart_a.segment_features,
+        ...                               chart_b.segment_features])
+        >>> [r.shape for r in reprs]      # [(M_a, N1, K), (M_b, N1, K)]
+        """
+        arrays = [
+            np.asarray(features, dtype=np.float64)
+            for features in charts_segment_features
+        ]
+        if not arrays:
+            raise ValueError("forward_many needs at least one chart")
+        for features in arrays:
+            if features.ndim != 3:
+                raise ValueError(
+                    f"expected (M, N1, F1) chart features, got shape {features.shape}"
+                )
+            if features.shape[1:] != arrays[0].shape[1:]:
+                raise ValueError(
+                    "charts prepared under different configs cannot be "
+                    f"batch-encoded: {features.shape[1:]} vs {arrays[0].shape[1:]}"
+                )
+        encoded = self.forward(np.concatenate(arrays, axis=0))
+        outputs: List[Tensor] = []
+        offset = 0
+        for features in arrays:
+            outputs.append(encoded[offset : offset + features.shape[0]])
+            offset += features.shape[0]
+        return outputs

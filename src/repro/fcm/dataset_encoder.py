@@ -11,7 +11,7 @@ The output for a table with ``NC`` surviving columns is
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,89 @@ class SegmentDatasetEncoder(Module):
         # Python-level op count stays independent of NC.
         embedded = self.embed_segments(segments)
         return self.encoder(embedded)
+
+    def forward_padded(self, segments: np.ndarray, segment_mask: np.ndarray) -> Tensor:
+        """Encode zero-padded column segments with a key-padding mask.
+
+        Parameters
+        ----------
+        segments:
+            Array of shape ``(B, N2_max, P2)``: one row per column (possibly
+            drawn from *different* tables), zero-padded along the segment
+            axis to a common ``N2_max``.
+        segment_mask:
+            Boolean ``(B, N2_max)``; True marks real segments.
+
+        Returns
+        -------
+        Tensor
+            ``(B, N2_max, K)``.  Padded key positions are excluded from every
+            self-attention softmax, so the real rows equal what :meth:`forward`
+            would produce on each column's unpadded segments; outputs at
+            padded positions are meaningless and must be sliced away by the
+            caller.
+        """
+        segments = np.asarray(segments, dtype=np.float64)
+        valid = np.asarray(segment_mask, dtype=bool)
+        if segments.ndim != 3 or valid.shape != segments.shape[:2]:
+            raise ValueError(
+                f"expected (B, N2, P2) segments with a (B, N2) mask, got "
+                f"{segments.shape} / {valid.shape}"
+            )
+        embedded = self.embed_segments(segments)
+        # (B, 1, 1, N2): broadcast over heads and query positions inside the
+        # multi-head attention blocks.  Skipped entirely when nothing is
+        # padded so the unpadded fast path stays bit-identical to forward().
+        attention_mask = None if valid.all() else valid[:, None, None, :]
+        return self.encoder(embedded, mask=attention_mask)
+
+    def forward_many(self, tables_segments: Sequence[np.ndarray]) -> List[Tensor]:
+        """Encode several tables in one padded transformer call.
+
+        The ``(NC_i, N2_i, P2)`` segment blocks of every table are flattened
+        along the column axis (columns only ever attend within themselves, so
+        no cross-table attention can occur), zero-padded along the segment
+        axis to the largest ``N2`` in the batch and encoded by a *single*
+        :meth:`forward_padded` call.  The result is split back into per-table
+        ``(NC_i, N2_i, K)`` tensors that match :meth:`forward` on each table
+        alone to floating-point accuracy.  Differentiable: each split is a
+        sliced view into the shared graph node, so the batched training path
+        reuses this to encode every distinct table of a minibatch once.
+
+        Example
+        -------
+        >>> reprs = encoder.forward_many([input_a.segments, input_b.segments])
+        >>> [r.shape for r in reprs]   # [(NC_a, N2_a, K), (NC_b, N2_b, K)]
+        """
+        arrays = [np.asarray(block, dtype=np.float64) for block in tables_segments]
+        if not arrays:
+            raise ValueError("forward_many needs at least one table")
+        p2 = self.config.data_segment_size
+        for block in arrays:
+            if block.ndim != 3 or block.shape[2] != p2:
+                raise ValueError(
+                    f"expected (NC, N2, {p2}) table segments, got shape {block.shape}"
+                )
+            if block.shape[0] == 0:
+                raise ValueError("cannot encode a table with zero surviving columns")
+        total_columns = sum(block.shape[0] for block in arrays)
+        n2_max = max(block.shape[1] for block in arrays)
+        flat = np.zeros((total_columns, n2_max, p2))
+        mask = np.zeros((total_columns, n2_max), dtype=bool)
+        offset = 0
+        for block in arrays:
+            nc, n2, _ = block.shape
+            flat[offset : offset + nc, :n2] = block
+            mask[offset : offset + nc, :n2] = True
+            offset += nc
+        encoded = self.forward_padded(flat, mask)
+        outputs: List[Tensor] = []
+        offset = 0
+        for block in arrays:
+            nc, n2, _ = block.shape
+            outputs.append(encoded[offset : offset + nc, :n2])
+            offset += nc
+        return outputs
 
     # ------------------------------------------------------------------ #
     # Query-time helpers

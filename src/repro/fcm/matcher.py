@@ -256,6 +256,86 @@ class SegmentLevelAttention(Module):
         )
         return lines, columns, evidence
 
+    def forward_pairs(
+        self,
+        chart_batch: Tensor,
+        table_batch: Tensor,
+        chart_mask: np.ndarray,
+        segment_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reconstruct lines/columns for ``P`` independent (chart, table) pairs.
+
+        Unlike :meth:`forward_batch`, which shares one chart across all
+        candidates (the inference layout), every pair here carries its *own*
+        padded chart — the layout of the batched trainer, where each pair is
+        one example's chart against its positive or one of its negatives.
+
+        Parameters
+        ----------
+        chart_batch:
+            Stacked, zero-padded ``E_V`` of shape ``(P, M, N1, K)``.
+        table_batch:
+            Stacked, zero-padded ``E_T`` of shape ``(P, NC, N2, K)``.
+        chart_mask:
+            Boolean ``(P, M, N1)``; True marks real line segments.
+        segment_mask:
+            Boolean ``(P, NC, N2)``; True marks real data segments.
+
+        Returns
+        -------
+        (lines, columns, evidence):
+            ``lines`` of shape ``(P, M, K)``, ``columns`` of shape
+            ``(P, NC, K)`` and ``evidence`` of shape ``(P, 2)``.  Padding on
+            either side is excluded from every max/softmax/mean, so row ``p``
+            matches :meth:`forward` on pair ``p`` alone.
+        """
+        p, m, n1, dim = chart_batch.shape
+        _, nc, n2, _ = table_batch.shape
+        chart_flat = chart_batch.reshape(p, m * n1, dim)
+        table_flat = table_batch.reshape(p, nc * n2, dim)
+        line_seg_valid = np.asarray(chart_mask, dtype=bool)
+        seg_valid = np.asarray(segment_mask, dtype=bool)
+        pair_valid = (
+            line_seg_valid.reshape(p, m * n1)[:, :, None]
+            & seg_valid.reshape(p, nc * n2)[:, None, :]
+        )
+
+        # (P, M*N1, K) x (P, K, NC*N2) -> (P, M*N1, NC*N2); any position that
+        # is padded on either side goes to -inf so it can never win a max and
+        # gets exactly zero softmax weight.
+        sim = _scaled_similarity(self.query_proj(chart_flat), self.key_proj(table_flat))
+        sim = masked_keep(sim, pair_valid, -np.inf)
+        sim_chart = sim.reshape(p, m, n1, nc * n2)
+        sim_table = sim.swapaxes(-1, -2).reshape(p, nc, n2, m * n1)
+
+        chart_scores = sim_chart.max(axis=-1)  # (P, M, N1); -inf when padded
+        table_scores = sim_table.max(axis=-1)  # (P, NC, N2); -inf when padded
+
+        # Fully-padded lines/columns would be all--inf softmax rows (NaN);
+        # their weights are irrelevant — the masks discard them downstream —
+        # so any finite placeholder works: use 0.
+        line_alive = line_seg_valid.any(axis=-1)[..., None]  # (P, M, 1)
+        column_alive = seg_valid.any(axis=-1)[..., None]  # (P, NC, 1)
+        chart_weights = (
+            masked_keep(chart_scores, line_alive, 0.0).softmax(axis=-1).expand_dims(-1)
+        )
+        table_weights = (
+            masked_keep(table_scores, column_alive, 0.0).softmax(axis=-1).expand_dims(-1)
+        )
+
+        chart_values = self.value_proj(chart_batch)  # (P, M, N1, K)
+        table_values = self.value_proj(table_batch)  # (P, NC, N2, K)
+        lines = (chart_values * chart_weights).sum(axis=2)  # (P, M, K)
+        columns = (table_values * table_weights).sum(axis=2)  # (P, NC, K)
+        evidence = concatenate(
+            [
+                _masked_mean(chart_scores, line_seg_valid),
+                _masked_mean(table_scores, seg_valid),
+            ],
+            axis=-1,
+        )
+        return lines, columns, evidence
+
 
 class LineColumnAttention(Module):
     """LL-SAN: reconstruct the chart and table from their best lines/columns."""
@@ -327,6 +407,48 @@ class LineColumnAttention(Module):
         )
         return chart_vecs, table_vecs, evidence
 
+    def forward_pairs(
+        self,
+        lines: Tensor,
+        columns: Tensor,
+        line_mask: np.ndarray,
+        column_mask: np.ndarray,
+    ) -> Tuple[Tensor, Tensor, Tensor]:
+        """Reduce per-pair lines and columns with padding masks on both sides.
+
+        ``lines`` is ``(P, M, K)`` with boolean ``line_mask`` ``(P, M)``;
+        ``columns`` is ``(P, NC, K)`` with boolean ``column_mask`` ``(P, NC)``.
+        Padded lines *and* columns are masked out of every max/softmax/mean,
+        so row ``p`` matches :meth:`forward` on pair ``p`` alone.  Returns
+        ``(P, K)`` chart and table vectors plus ``(P, 2)`` evidence.
+        """
+        line_valid = np.asarray(line_mask, dtype=bool)
+        col_valid = np.asarray(column_mask, dtype=bool)
+        sim = _scaled_similarity(self.query_proj(lines), self.key_proj(columns))
+        sim = masked_keep(
+            sim, line_valid[:, :, None] & col_valid[:, None, :], -np.inf
+        )  # (P, M, NC)
+
+        line_scores = sim.max(axis=-1)  # (P, M); -inf at padded lines
+        column_scores = sim.swapaxes(-1, -2).max(axis=-1)  # (P, NC); -inf padded
+
+        # Padded lines/columns sit at -inf, so they receive exactly zero
+        # softmax weight; every pair has at least one real line and one real
+        # column, so no row is all -inf.
+        line_weights = line_scores.softmax(axis=-1).expand_dims(-1)  # (P, M, 1)
+        column_weights = column_scores.softmax(axis=-1).expand_dims(-1)  # (P, NC, 1)
+
+        chart_vecs = (self.value_proj(lines) * line_weights).sum(axis=1)  # (P, K)
+        table_vecs = (self.value_proj(columns) * column_weights).sum(axis=1)  # (P, K)
+        evidence = concatenate(
+            [
+                _masked_mean(line_scores, line_valid),
+                _masked_mean(column_scores, col_valid),
+            ],
+            axis=-1,
+        )
+        return chart_vecs, table_vecs, evidence
+
 
 class HCMANMatcher(Module):
     """The full hierarchical cross-modal attention matcher."""
@@ -355,12 +477,54 @@ class HCMANMatcher(Module):
         See :meth:`SegmentLevelAttention.forward_batch` for the stacked
         layout.  Returns the ``(B,)`` relevance scores; row ``b`` equals
         :meth:`forward` on candidate ``b``.
+
+        Example
+        -------
+        >>> batch, seg_mask, col_mask = pad_candidate_batch(cached_reps)
+        >>> with model.inference():
+        ...     scores = matcher.forward_batch(chart_repr, Tensor(batch),
+        ...                                    seg_mask, col_mask)  # (B,)
         """
         lines, columns, segment_evidence = self.segment_level.forward_batch(
             chart_repr, table_batch, segment_mask
         )
         chart_vecs, table_vecs, line_evidence = self.line_level.forward_batch(
             lines, columns, column_mask
+        )
+        evidence = concatenate([segment_evidence, line_evidence], axis=-1)
+        return self.head.forward_batch(chart_vecs, table_vecs, extra=evidence)
+
+    def forward_pairs(
+        self,
+        chart_batch: Tensor,
+        table_batch: Tensor,
+        chart_mask: np.ndarray,
+        segment_mask: np.ndarray,
+    ) -> Tensor:
+        """Score ``P`` independent padded (chart, table) pairs at once.
+
+        The training-path layout: ``chart_batch`` ``(P, M, N1, K)`` carries a
+        (possibly repeated) chart per pair, ``table_batch`` ``(P, NC, N2, K)``
+        the candidate tables, with boolean validity masks ``chart_mask``
+        ``(P, M, N1)`` and ``segment_mask`` ``(P, NC, N2)``.  Fully
+        differentiable — this is the stacked forward the batched contrastive
+        loss backpropagates through.  Returns the ``(P,)`` relevance scores;
+        row ``p`` equals :meth:`forward` on pair ``p``.
+
+        Example
+        -------
+        >>> batch, mask = pad_stack([repr_a, repr_a, repr_b])   # chart per pair
+        >>> tables, tmask = pad_stack([pos_a, neg_a, pos_b])
+        >>> scores = matcher.forward_pairs(batch, tables,
+        ...                                mask[..., 0], tmask[..., 0])  # (3,)
+        """
+        line_mask = np.asarray(chart_mask, dtype=bool).any(axis=-1)
+        column_mask = np.asarray(segment_mask, dtype=bool).any(axis=-1)
+        lines, columns, segment_evidence = self.segment_level.forward_pairs(
+            chart_batch, table_batch, chart_mask, segment_mask
+        )
+        chart_vecs, table_vecs, line_evidence = self.line_level.forward_pairs(
+            lines, columns, line_mask, column_mask
         )
         evidence = concatenate([segment_evidence, line_evidence], axis=-1)
         return self.head.forward_batch(chart_vecs, table_vecs, extra=evidence)
@@ -396,6 +560,30 @@ class AveragedMatcher(Module):
         table_vecs = (table_batch * Tensor(seg_valid[..., None].astype(np.float64))).sum(
             axis=(1, 2)
         ) * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+        return self.head.forward_batch(chart_vecs, table_vecs)
+
+    def forward_pairs(
+        self,
+        chart_batch: Tensor,
+        table_batch: Tensor,
+        chart_mask: np.ndarray,
+        segment_mask: np.ndarray,
+    ) -> Tensor:
+        """Batched mean-pool scoring of ``P`` padded (chart, table) pairs.
+
+        Same contract as :meth:`HCMANMatcher.forward_pairs`: per-pair charts
+        ``(P, M, N1, K)`` and tables ``(P, NC, N2, K)`` with validity masks;
+        both sides are mean-pooled over their *real* cells only.  Returns the
+        ``(P,)`` scores, differentiable end to end.
+        """
+
+        def _pooled(values: Tensor, valid: np.ndarray) -> Tensor:
+            counts = valid.sum(axis=(1, 2)).astype(np.float64)
+            total = (values * Tensor(valid[..., None].astype(np.float64))).sum(axis=(1, 2))
+            return total * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+
+        chart_vecs = _pooled(chart_batch, np.asarray(chart_mask, dtype=bool))
+        table_vecs = _pooled(table_batch, np.asarray(segment_mask, dtype=bool))
         return self.head.forward_batch(chart_vecs, table_vecs)
 
 

@@ -11,7 +11,7 @@ selected through :class:`~repro.fcm.config.FCMConfig`:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -70,6 +70,68 @@ class FCMModel(Module):
         """
         return self.matcher.forward_batch(
             chart_repr, table_batch, segment_mask, column_mask
+        )
+
+    def encode_chart_batch(self, chart_inputs: Sequence[ChartInput]) -> List[Tensor]:
+        """``E_V`` for several charts via one stacked chart-encoder call.
+
+        Returns one ``(M_i, N1, K)`` tensor per input, each equal to
+        :meth:`encode_chart` on that chart alone (all charts prepared under
+        one config share ``N1``/``F1``, so their lines concatenate into a
+        single transformer batch).  Differentiable — the batched trainer
+        encodes every chart of a minibatch through here.
+        """
+        return self.chart_encoder.forward_many(
+            [chart_input.segment_features for chart_input in chart_inputs]
+        )
+
+    def encode_table_batch(self, table_inputs: Sequence[TableInput]) -> List[Tensor]:
+        """``E_T`` for several tables via one padded dataset-encoder call.
+
+        Columns of all tables are flattened into one batch, zero-padded along
+        the segment axis to a common ``N2`` and encoded in a single
+        transformer call with a key-padding attention mask; the result is
+        split back into per-table ``(NC_i, N2_i, K)`` tensors matching
+        :meth:`encode_table` on each table alone to floating-point accuracy.
+        Used with gradients by the batched trainer and under
+        :meth:`~repro.nn.Module.inference` by
+        :meth:`FCMScorer.index_repository <repro.fcm.scorer.FCMScorer.index_repository>`.
+        """
+        for table_input in table_inputs:
+            if table_input.is_empty:
+                raise ValueError(
+                    f"table {table_input.table_id!r} has no columns to encode"
+                )
+        return self.dataset_encoder.forward_many(
+            [table_input.segments for table_input in table_inputs]
+        )
+
+    def match_pairs(
+        self,
+        chart_batch: Tensor,
+        table_batch: Tensor,
+        chart_mask: np.ndarray,
+        segment_mask: np.ndarray,
+    ) -> Tensor:
+        """``Rel'(V_p, T_p)`` for ``P`` independent padded pairs, shape ``(P,)``.
+
+        The training-path counterpart of :meth:`match_batch`: instead of one
+        chart shared by every candidate, each pair carries its own padded
+        chart ``(P, M, N1, K)`` (masked by ``chart_mask`` ``(P, M, N1)``)
+        against its own padded table ``(P, NC, N2, K)`` (masked by
+        ``segment_mask`` ``(P, NC, N2)``).  One stacked, fully differentiable
+        matcher forward replaces ``P`` per-pair :meth:`match` calls and
+        returns the same scores.
+
+        Example
+        -------
+        >>> chart_batch, cmask = pad_stack([chart_repr, chart_repr])
+        >>> table_batch, tmask = pad_stack([positive_repr, negative_repr])
+        >>> scores = model.match_pairs(chart_batch, table_batch,
+        ...                            cmask[..., 0], tmask[..., 0])  # (2,)
+        """
+        return self.matcher.forward_pairs(
+            chart_batch, table_batch, chart_mask, segment_mask
         )
 
     def forward(self, chart_input: ChartInput, table_input: TableInput) -> Tensor:

@@ -79,6 +79,33 @@ def select_negatives(
     return ranked[start : start + num_negatives]
 
 
+def select_negatives_batch(
+    relevance_rows: Sequence[np.ndarray],
+    positive_positions: Sequence[int],
+    num_negatives: int,
+    strategy: str = "semi-hard",
+    rng: np.random.Generator | None = None,
+) -> List[List[int]]:
+    """Negative selection for a whole minibatch of positives at once.
+
+    Row ``i`` of the result holds the negatives for ``(relevance_rows[i],
+    positive_positions[i])``.  Selection runs row by row *in order*, so the
+    ``random`` strategy consumes ``rng`` exactly like the equivalent sequence
+    of single-row :func:`select_negatives` calls — the batched trainer and
+    the per-pair reference path therefore draw identical negatives from the
+    same generator state, which is what makes their losses and gradients
+    directly comparable.
+    """
+    if len(relevance_rows) != len(positive_positions):
+        raise ValueError(
+            "relevance_rows and positive_positions must have equal length"
+        )
+    return [
+        select_negatives(row, positive, num_negatives, strategy=strategy, rng=rng)
+        for row, positive in zip(relevance_rows, positive_positions)
+    ]
+
+
 def batch_indices(
     num_examples: int, batch_size: int, rng: np.random.Generator
 ) -> List[np.ndarray]:

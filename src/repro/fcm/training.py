@@ -10,6 +10,14 @@ Training follows Sec. V-E of the paper:
   which is available during training because the underlying data is known;
 * the objective is the class-balanced binary cross-entropy of Eq. 2,
   optimised with Adam.
+
+Since the batched-training engine landed, each minibatch's loss is computed
+in a **single stacked forward/backward**: all charts are encoded in one
+chart-encoder call, every distinct table in one padded dataset-encoder call,
+and the (positive + negatives) pairs are zero-padded and scored by one
+:meth:`FCMModel.match_pairs` forward.  The per-pair loop survives as
+:meth:`FCMTrainer._batch_loss_reference` (``TrainerConfig(batched=False)``)
+and is the ground truth the equivalence tests compare against.
 """
 
 from __future__ import annotations
@@ -25,7 +33,7 @@ from ..charts.spec import ChartSpec
 from ..data.aggregation import AggregationSpec, sample_aggregation_spec
 from ..data.corpus import CorpusRecord
 from ..data.table import Table, UnderlyingData
-from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, stack
+from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, pad_stack, stack
 from ..relevance import RelevanceComputer
 from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
@@ -37,7 +45,7 @@ from .preprocessing import (
     prepare_table_input,
     resample_series,
 )
-from .sampling import NEGATIVE_STRATEGIES, batch_indices, select_negatives
+from .sampling import NEGATIVE_STRATEGIES, batch_indices, select_negatives_batch
 
 
 # --------------------------------------------------------------------------- #
@@ -201,6 +209,14 @@ class TrainerConfig:
     grad_clip: Optional[float] = 5.0
     seed: int = 0
     relevance_max_points: int = 48
+    #: Compute each minibatch's contrastive loss through one stacked
+    #: forward/backward (:meth:`FCMTrainer._batch_loss`) instead of the
+    #: per-pair loop (:meth:`FCMTrainer._batch_loss_reference`).  Both paths
+    #: draw identical negatives and agree on loss and parameter gradients to
+    #: floating-point accuracy (pinned by ``tests/test_batched_training.py``);
+    #: with ``dropout > 0`` they sample different dropout masks and are only
+    #: statistically equivalent.
+    batched: bool = True
 
     def __post_init__(self) -> None:
         if self.strategy not in NEGATIVE_STRATEGIES:
@@ -297,7 +313,10 @@ class FCMTrainer:
             epoch_losses: List[float] = []
             for batch in batch_indices(len(data.examples), self.config.batch_size, rng):
                 batch_table_ids = sorted({data.examples[i].table_id for i in batch})
-                loss = self._batch_loss(
+                loss_fn = (
+                    self._batch_loss if self.config.batched else self._batch_loss_reference
+                )
+                loss = loss_fn(
                     [int(i) for i in batch], batch_table_ids, data, relevance, table_index, rng
                 )
                 if loss is None:
@@ -328,6 +347,36 @@ class FCMTrainer:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _select_batch_negatives(
+        self,
+        batch_example_indices: Sequence[int],
+        batch_table_ids: List[str],
+        data: TrainingData,
+        relevance: np.ndarray,
+        table_index: Dict[str, int],
+        rng: np.random.Generator,
+    ) -> List[List[int]]:
+        """Negative positions (into ``batch_table_ids``) for every example.
+
+        Shared by both loss paths so they draw *identical* negatives from the
+        same generator state.
+        """
+        rows = [
+            relevance[example_index, [table_index[t] for t in batch_table_ids]]
+            for example_index in batch_example_indices
+        ]
+        positives = [
+            batch_table_ids.index(data.examples[example_index].table_id)
+            for example_index in batch_example_indices
+        ]
+        return select_negatives_batch(
+            rows,
+            positives,
+            self.config.num_negatives,
+            strategy=self.config.strategy,
+            rng=rng,
+        )
+
     def _batch_loss(
         self,
         batch_example_indices: Sequence[int],
@@ -337,28 +386,98 @@ class FCMTrainer:
         table_index: Dict[str, int],
         rng: np.random.Generator,
     ):
+        """Contrastive loss of one minibatch in a single stacked forward.
+
+        The batched training path (the per-pair loop it replaces survives as
+        :meth:`_batch_loss_reference`):
+
+        1. every chart in the batch is encoded through *one* stacked
+           chart-encoder call, every **distinct** table through *one* padded
+           dataset-encoder call — the reference path re-encodes the same
+           table for every pair that touches it;
+        2. each example's chart representation is paired with its positive
+           and each sampled negative; the ragged pair list is zero-padded and
+           stacked (:func:`repro.nn.pad_stack`, differentiable) into
+           ``(P, M, N1, K)`` / ``(P, NC, N2, K)`` batches;
+        3. one :meth:`FCMModel.match_pairs` forward scores all ``P`` pairs,
+           and the class-balanced BCE of Eq. 2 over those scores is the
+           single tensor the caller backpropagates through.
+
+        Loss and parameter gradients match the reference within
+        floating-point accuracy (``tests/test_batched_training.py`` pins
+        1e-6); only with ``dropout > 0`` do the paths diverge, because each
+        forward samples its own dropout masks.
+        """
+        negatives = self._select_batch_negatives(
+            batch_example_indices, batch_table_ids, data, relevance, table_index, rng
+        )
+        pair_slots: List[int] = []  # index into the batch's chart list, per pair
+        pair_table_ids: List[str] = []
+        labels: List[float] = []
+        for slot, example_index in enumerate(batch_example_indices):
+            example = data.examples[example_index]
+            pair_slots.append(slot)
+            pair_table_ids.append(example.table_id)
+            labels.append(1.0)
+            for pos in negatives[slot]:
+                pair_slots.append(slot)
+                pair_table_ids.append(batch_table_ids[pos])
+                labels.append(0.0)
+        if not pair_table_ids:
+            return None
+
+        chart_reprs = self.model.encode_chart_batch(
+            [data.examples[i].chart_input for i in batch_example_indices]
+        )
+        distinct_ids = list(dict.fromkeys(pair_table_ids))
+        table_reprs = dict(
+            zip(
+                distinct_ids,
+                self.model.encode_table_batch(
+                    [data.table_inputs[table_id] for table_id in distinct_ids]
+                ),
+            )
+        )
+
+        chart_batch, chart_mask = pad_stack([chart_reprs[slot] for slot in pair_slots])
+        table_batch, table_mask = pad_stack(
+            [table_reprs[table_id] for table_id in pair_table_ids]
+        )
+        predictions = self.model.match_pairs(
+            chart_batch, table_batch, chart_mask[..., 0], table_mask[..., 0]
+        )
+        return balanced_binary_cross_entropy(
+            predictions.reshape(-1), np.asarray(labels)
+        )
+
+    def _batch_loss_reference(
+        self,
+        batch_example_indices: Sequence[int],
+        batch_table_ids: List[str],
+        data: TrainingData,
+        relevance: np.ndarray,
+        table_index: Dict[str, int],
+        rng: np.random.Generator,
+    ):
+        """Per-pair reference path: one matcher forward per (chart, table).
+
+        Kept as the ground truth the batched-vs-reference equivalence tests
+        compare against, and selectable via ``TrainerConfig(batched=False)``.
+        """
+        negatives = self._select_batch_negatives(
+            batch_example_indices, batch_table_ids, data, relevance, table_index, rng
+        )
         predictions = []
         labels: List[float] = []
-        for example_index in batch_example_indices:
+        for slot, example_index in enumerate(batch_example_indices):
             example = data.examples[example_index]
-            example_row = relevance[
-                example_index, [table_index[t] for t in batch_table_ids]
-            ]
-            positive_pos = batch_table_ids.index(example.table_id)
             chart_repr = self.model.encode_chart(example.chart_input)
 
             positive_input = data.table_inputs[example.table_id]
             predictions.append(self.model.match(chart_repr, self.model.encode_table(positive_input)))
             labels.append(1.0)
 
-            negative_positions = select_negatives(
-                example_row,
-                positive_pos,
-                self.config.num_negatives,
-                strategy=self.config.strategy,
-                rng=rng,
-            )
-            for pos in negative_positions:
+            for pos in negatives[slot]:
                 negative_input = data.table_inputs[batch_table_ids[pos]]
                 predictions.append(
                     self.model.match(chart_repr, self.model.encode_table(negative_input))

@@ -78,11 +78,17 @@ class HybridQueryProcessor:
     # Build phase
     # ------------------------------------------------------------------ #
     def index_repository(self, tables: Iterable[Table]) -> IndexBuildStats:
-        """Encode every table with FCM and build both index structures."""
+        """Encode every table with FCM and build both index structures.
+
+        Table encoding runs through the scorer's chunked padded-batch path
+        (:meth:`FCMScorer.index_repository`): one masked dataset-encoder
+        transformer call per chunk of tables instead of one call per table,
+        producing the same cached encodings the per-table path would.
+        """
         tables = list(tables)
         for table in tables:
             self._tables[table.table_id] = table
-            self.scorer.index_table(table)
+        self.scorer.index_repository(tables)
 
         start = time.perf_counter()
         for table in tables:

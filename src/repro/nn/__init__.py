@@ -30,6 +30,8 @@ from .tensor import (
     enable_grad,
     is_grad_enabled,
     no_grad,
+    pad,
+    pad_stack,
     stack,
     where,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "masked_keep",
     "mse_loss",
     "no_grad",
+    "pad",
+    "pad_stack",
     "save_state_dict",
     "scaled_dot_product_attention",
     "stack",

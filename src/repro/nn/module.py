@@ -111,6 +111,14 @@ class Module:
         disabled and no computation graph is built, and the module's previous
         training mode is reinstated afterwards so a trainer can interleave
         evaluation callbacks without bookkeeping.
+
+        Example
+        -------
+        >>> model.train()                      # mid-training evaluation
+        >>> with model.inference():
+        ...     score = model.forward(chart_input, table_input).item()
+        >>> model.training                     # training mode restored
+        True
         """
         was_training = self.training
         self.eval()

@@ -92,13 +92,33 @@ class _GradMode:
 
 
 class no_grad(_GradMode):
-    """Disable graph construction inside the block (or decorated function)."""
+    """Disable graph construction inside the block (or decorated function).
+
+    Every op run inside the block returns a plain tensor with no parents and
+    no backward closure; forward *values* are unchanged.  Wrap any forward
+    pass whose output will never be differentiated (all query-time scoring).
+
+    Example
+    -------
+    >>> w = Tensor(np.ones((4, 4)), requires_grad=True)
+    >>> with no_grad():
+    ...     y = (w @ w).sum()      # no tape: y.requires_grad is False
+    >>> y.requires_grad
+    False
+    """
 
     _enabled = False
 
 
 class enable_grad(_GradMode):
-    """Re-enable graph construction inside a ``no_grad`` region."""
+    """Re-enable graph construction inside a ``no_grad`` region.
+
+    Example
+    -------
+    >>> with no_grad():
+    ...     with enable_grad():
+    ...         assert is_grad_enabled()   # tracking restored inside
+    """
 
     _enabled = True
 
@@ -761,6 +781,84 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             tensor._accumulate(np.take(grad_arr, i, axis=axis))
 
     return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward)
+
+
+def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
+    """Zero-pad ``tensor`` with ``(before, after)`` widths per axis.
+
+    The differentiable counterpart of :func:`numpy.pad` (constant/zero mode):
+    the backward pass slices the upstream gradient back to the unpadded
+    region, so padding cells contribute nothing to any parameter gradient.
+    This is the building block that lets ragged encoder outputs be stacked
+    into one batch *inside* the autodiff graph — the batched training path
+    pads each example's ``(NC_i, N2_i, K)`` table representation to the batch
+    maximum before one stacked matcher forward.
+
+    Example
+    -------
+    >>> t = Tensor(np.ones((2, 3)), requires_grad=True)
+    >>> pad(t, [(0, 1), (0, 2)]).shape   # zero row below, two zero cols right
+    (3, 5)
+    """
+    tensor = Tensor._ensure(tensor)
+    widths = tuple((int(before), int(after)) for before, after in pad_width)
+    if len(widths) != tensor.ndim:
+        raise ValueError(
+            f"pad_width has {len(widths)} entries for a {tensor.ndim}-D tensor"
+        )
+    if any(before < 0 or after < 0 for before, after in widths):
+        raise ValueError("pad widths must be non-negative")
+    if all(before == 0 and after == 0 for before, after in widths):
+        return tensor
+    out_data = np.pad(tensor.data, widths)
+    if not _any_tracked((tensor,)):
+        return Tensor(out_data)
+    region = tuple(
+        slice(before, before + size)
+        for (before, _), size in zip(widths, tensor.data.shape)
+    )
+
+    def backward(grad: np.ndarray) -> None:
+        tensor._accumulate(_as_array(grad)[region])
+
+    return Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward)
+
+
+def pad_stack(tensors: Sequence[Tensor]) -> Tuple[Tensor, np.ndarray]:
+    """Zero-pad same-rank tensors to a common shape and stack along a new axis 0.
+
+    Returns ``(batch, mask)`` where ``batch`` has shape
+    ``(B, *max_shape)`` and ``mask`` is a boolean array of the same shape
+    marking the real (unpadded) cells of every element.  Fully differentiable:
+    gradients of ``batch`` flow back into each input tensor's unpadded region
+    (and accumulate when the same tensor object appears several times, which
+    is how a chart representation shared by a positive and its negatives
+    receives the sum of its pairs' gradients).
+
+    Example
+    -------
+    >>> a, b = Tensor(np.ones((2, 3))), Tensor(np.ones((1, 5)))
+    >>> batch, mask = pad_stack([a, b])
+    >>> batch.shape, mask[1, 0].tolist()
+    ((2, 2, 5), [True, True, True, True, True])
+    """
+    tensors = [Tensor._ensure(t) for t in tensors]
+    if not tensors:
+        raise ValueError("cannot pad-stack zero tensors")
+    ndim = tensors[0].ndim
+    if any(t.ndim != ndim for t in tensors):
+        raise ValueError("pad_stack requires tensors of equal rank")
+    max_shape = tuple(
+        max(t.shape[axis] for t in tensors) for axis in range(ndim)
+    )
+    padded = [
+        pad(t, [(0, high - size) for size, high in zip(t.shape, max_shape)])
+        for t in tensors
+    ]
+    mask = np.zeros((len(tensors), *max_shape), dtype=bool)
+    for i, t in enumerate(tensors):
+        mask[i][tuple(slice(0, size) for size in t.shape)] = True
+    return stack(padded, axis=0), mask
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
