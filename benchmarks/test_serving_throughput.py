@@ -1,0 +1,195 @@
+"""Serving-layer throughput: incremental adds, warm queries, sharded builds.
+
+Three costs of running the hybrid index as a *service* rather than the
+paper's one-shot batch build (Table VIII measures only the latter):
+
+* **incremental add vs. full rebuild** — appending a handful of tables to a
+  live :class:`~repro.serving.SearchService` against re-indexing the whole
+  repository from scratch;
+* **cold vs. warm query latency** — the LRU result cache on repeated
+  queries;
+* **single-process vs. sharded build** — fanning table encoding out across
+  worker processes (only wins on multi-core hosts; the worker count and CPU
+  count are recorded alongside the numbers).
+
+Results land in ``BENCH_serving.json`` at the repository root (the serving
+perf trajectory) and ``benchmarks/results/serving_throughput.txt``.  An
+*untrained* model is used throughout: every measured path is
+weight-independent, and skipping training keeps the target minutes-free.
+
+Speed assertions (incremental faster than rebuild, warm faster than cold)
+are skipped under ``REPRO_SKIP_PERF_TESTS=1``; the numbers are recorded
+either way.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.charts import render_chart_for_table
+from repro.data import CorpusConfig, filter_line_chart_records, generate_corpus
+from repro.fcm import FCMConfig, FCMModel
+from repro.index import LSHConfig
+from repro.serving import SearchService, ServingConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_serving.json"
+
+#: Wall-clock guard for the multi-process build (falls back in-process).
+SHARD_TIMEOUT_SECONDS = 600.0
+
+
+def _skip_perf_assertions() -> bool:
+    return os.environ.get("REPRO_SKIP_PERF_TESTS", "").lower() in ("1", "true", "yes")
+
+
+def _serving_scale() -> dict:
+    if os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "smoke":
+        return {"name": "smoke", "num_records": 40, "num_queries": 3, "num_added": 4}
+    return {"name": "default", "num_records": 120, "num_queries": 5, "num_added": 6}
+
+
+def _build_service(model, tables, num_workers=1):
+    service = SearchService(
+        model,
+        ServingConfig(
+            lsh_config=LSHConfig(num_bits=10, hamming_radius=1),
+            build_timeout=SHARD_TIMEOUT_SECONDS,
+        ),
+    )
+    service.build(tables, num_workers=num_workers)
+    return service
+
+
+def test_serving_throughput(record_result):
+    scale = _serving_scale()
+    records = filter_line_chart_records(
+        generate_corpus(
+            CorpusConfig(
+                num_records=scale["num_records"], min_rows=100, max_rows=200, seed=21
+            )
+        )
+    )
+    tables = [record.table for record in records]
+    # The default (32-dim, 2-layer) configuration: large enough that encode
+    # time dominates process-pool overhead, so the sharded numbers mean
+    # something on multi-core hosts.
+    config = FCMConfig()
+    model = FCMModel(config)
+    charts = [
+        render_chart_for_table(
+            record.table,
+            list(record.spec.y_columns),
+            x_column=record.spec.x_column,
+            spec=config.chart_spec,
+        )
+        for record in records[: scale["num_queries"]]
+    ]
+
+    # ------------------------------------------------------------------ #
+    # 1. Full single-process build over all N tables
+    # ------------------------------------------------------------------ #
+    start = time.perf_counter()
+    full_service = _build_service(model, tables)
+    full_build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------ #
+    # 2. Incremental add of m tables to a live service of N - m
+    # ------------------------------------------------------------------ #
+    num_added = scale["num_added"]
+    base_tables, added_tables = tables[:-num_added], tables[-num_added:]
+    incremental_service = _build_service(FCMModel(config), base_tables)
+    start = time.perf_counter()
+    incremental_service.add_tables(added_tables)
+    incremental_add_seconds = time.perf_counter() - start
+    assert sorted(incremental_service.table_ids) == sorted(full_service.table_ids)
+
+    # Parity spot check: the mutated service ranks like the full rebuild.
+    probe = charts[0]
+    a = incremental_service.query(probe, k=5)
+    b = full_service.query(probe, k=5)
+    assert [t for t, _ in a.ranking] == [t for t, _ in b.ranking]
+    assert max(abs(x - y) for (_, x), (_, y) in zip(a.ranking, b.ranking)) < 1e-8
+
+    # ------------------------------------------------------------------ #
+    # 3. Cold vs. warm query latency (LRU result cache)
+    # ------------------------------------------------------------------ #
+    cold, warm = [], []
+    for chart in charts:
+        start = time.perf_counter()
+        full_service.query(chart, k=10)
+        cold.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        full_service.query(chart, k=10)
+        warm.append(time.perf_counter() - start)
+    cold_mean = float(np.mean(cold))
+    warm_mean = float(np.mean(warm))
+
+    # ------------------------------------------------------------------ #
+    # 4. Sharded multi-process build
+    # ------------------------------------------------------------------ #
+    num_cpus = multiprocessing.cpu_count()
+    num_workers = max(2, min(4, num_cpus))
+    start = time.perf_counter()
+    sharded_service = _build_service(FCMModel(config), tables, num_workers=num_workers)
+    sharded_build_seconds = time.perf_counter() - start
+    report = sharded_service.last_shard_report
+    sharded_used_processes = bool(report is not None and report.used_processes)
+    c = sharded_service.query(probe, k=5)
+    assert [t for t, _ in c.ranking] == [t for t, _ in b.ranking]
+
+    results = {
+        "benchmark": "serving_throughput",
+        "scale": scale["name"],
+        "num_tables": len(tables),
+        "num_cpus": num_cpus,
+        "build": {
+            "single_process_seconds": full_build_seconds,
+            "sharded_seconds": sharded_build_seconds,
+            "sharded_num_workers": num_workers,
+            "sharded_used_processes": sharded_used_processes,
+            "sharded_speedup": full_build_seconds / sharded_build_seconds,
+        },
+        "incremental": {
+            "tables_added": num_added,
+            "add_seconds": incremental_add_seconds,
+            "full_rebuild_seconds": full_build_seconds,
+            "speedup_vs_rebuild": full_build_seconds / incremental_add_seconds,
+        },
+        "query": {
+            "num_queries": len(charts),
+            "cold_seconds_mean": cold_mean,
+            "warm_seconds_mean": warm_mean,
+            "warm_speedup": cold_mean / warm_mean if warm_mean > 0 else float("inf"),
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+
+    lines = [
+        f"Serving throughput ({scale['name']} scale, {len(tables)} tables, {num_cpus} CPU)",
+        f"  full build (1 process):      {full_build_seconds:8.3f}s",
+        f"  sharded build ({num_workers} workers):   {sharded_build_seconds:8.3f}s"
+        f"  ({results['build']['sharded_speedup']:.2f}x"
+        f"{'' if sharded_used_processes else ', in-process fallback'})",
+        f"  incremental add ({num_added} tables): {incremental_add_seconds:8.3f}s"
+        f"  ({results['incremental']['speedup_vs_rebuild']:.1f}x vs rebuild)",
+        f"  query cold / warm:           {cold_mean * 1e3:8.2f}ms / {warm_mean * 1e3:.3f}ms"
+        f"  ({results['query']['warm_speedup']:.0f}x)",
+        f"  -> {BENCH_JSON.name}",
+    ]
+    record_result("serving_throughput", "\n".join(lines))
+
+    if not _skip_perf_assertions():
+        # Adding m << N tables must beat re-encoding all N from scratch.
+        assert incremental_add_seconds < full_build_seconds, results["incremental"]
+        # A cache hit must beat re-verifying candidates with the matcher.
+        assert warm_mean < cold_mean, results["query"]
+        if num_cpus > 1 and sharded_used_processes:
+            # Only assert a win where one is physically possible.
+            assert sharded_build_seconds < full_build_seconds, results["build"]

@@ -10,6 +10,7 @@ The package is organised as one subpackage per subsystem:
 * :mod:`repro.fcm` — the FCM model, its DA extension, training and scoring;
 * :mod:`repro.baselines` — CML, Qetch*, DE-LN, Opt-LN and the FCM ablations;
 * :mod:`repro.index` — interval-tree / LSH / hybrid query processing;
+* :mod:`repro.serving` — incremental, sharded, persistent index serving;
 * :mod:`repro.bench` — benchmark construction, metrics and per-table runners.
 
 Quickstart::

@@ -207,6 +207,19 @@ class FCMScorer:
                 # batch; caching views would pin the whole batch in memory.
                 self._cache_encoding(table, table_input, rep.numpy().copy())
 
+    def add_encoded(self, encoded: EncodedTable) -> None:
+        """Insert a precomputed :class:`EncodedTable` into the cache.
+
+        This is how the serving layer merges shard-worker outputs and
+        restores snapshots without re-running the dataset encoder; the entry
+        is indistinguishable from one produced by :meth:`index_table`.
+        """
+        self._encoded[encoded.table_id] = encoded
+
+    def evict_table(self, table_id: str) -> bool:
+        """Drop the cached encoding of ``table_id`` (incremental removal)."""
+        return self._encoded.pop(table_id, None) is not None
+
     @property
     def indexed_table_ids(self) -> List[str]:
         return list(self._encoded.keys())

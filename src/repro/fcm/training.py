@@ -34,7 +34,7 @@ from ..data.aggregation import AggregationSpec, sample_aggregation_spec
 from ..data.corpus import CorpusRecord
 from ..data.table import Table, UnderlyingData
 from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, pad_stack, stack
-from ..relevance import RelevanceComputer
+from ..relevance import RelevanceComputer, relevance_cache
 from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
 from .model import FCMModel
@@ -155,8 +155,22 @@ def ground_truth_relevance(
 
     Resampling keeps the DTW-based ground truth tractable during training and
     benchmark construction; the DTW is still exact on the resampled series.
+
+    Scores are memoised per ``(data, table, max_points, computer)`` content
+    fingerprint in the process-wide :func:`repro.relevance.relevance_cache`,
+    so recomputing the same pair across negative-sampling strategies or
+    epochs (the dominant fixture cost of the Figure 5 experiment) is a hash
+    lookup.  Disable with ``REPRO_RELEVANCE_CACHE=0`` or
+    :func:`repro.relevance.set_relevance_cache_enabled`.
     """
     computer = computer or RelevanceComputer(aggregate="mean")
+    cache = relevance_cache()
+    key = None
+    if cache.enabled:
+        key = cache.key(data, table, max_points, computer.signature)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
     from ..data.column import Column
     from ..data.table import DataSeries
 
@@ -170,7 +184,10 @@ def ground_truth_relevance(
     ]
     small_data = UnderlyingData(series=series)
     small_table = Table(table.table_id, columns)
-    return computer.score(small_data, small_table)
+    score = computer.score(small_data, small_table)
+    if key is not None:
+        cache.put(key, score)
+    return score
 
 
 def relevance_matrix(

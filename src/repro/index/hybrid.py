@@ -72,7 +72,9 @@ class HybridQueryProcessor:
         self.interval_tree = IntervalTree()
         self.lsh: Optional[RandomHyperplaneLSH] = None
         self.build_stats = IndexBuildStats()
-        self._tables: Dict[str, Table] = {}
+        # ``None`` values mark tables known only through a restored snapshot
+        # (their encodings are cached, the raw Table object was not saved).
+        self._tables: Dict[str, Optional[Table]] = {}
 
     # ------------------------------------------------------------------ #
     # Build phase
@@ -80,17 +82,24 @@ class HybridQueryProcessor:
     def index_repository(self, tables: Iterable[Table]) -> IndexBuildStats:
         """Encode every table with FCM and build both index structures.
 
+        This is a **from-scratch (re)build**: the interval tree, the LSH and
+        the table registry are replaced wholesale, so calling it again on a
+        long-lived processor leaves every strategy consistent with exactly
+        the tables passed (previously cached encodings stay in the scorer —
+        re-indexing a known table is free).  Use :meth:`add_tables` /
+        :meth:`remove_tables` for incremental maintenance.
+
         Table encoding runs through the scorer's chunked padded-batch path
         (:meth:`FCMScorer.index_repository`): one masked dataset-encoder
         transformer call per chunk of tables instead of one call per table,
         producing the same cached encodings the per-table path would.
         """
         tables = list(tables)
-        for table in tables:
-            self._tables[table.table_id] = table
+        self._tables = {table.table_id: table for table in tables}
         self.scorer.index_repository(tables)
 
         start = time.perf_counter()
+        self.interval_tree = IntervalTree()
         for table in tables:
             self.interval_tree.add_table(table)
         self.interval_tree.build()
@@ -107,9 +116,84 @@ class HybridQueryProcessor:
         self.build_stats = IndexBuildStats(
             interval_seconds=interval_seconds,
             lsh_seconds=lsh_seconds,
-            num_tables=len(tables),
+            num_tables=len(self._tables),
         )
         return self.build_stats
+
+    # ------------------------------------------------------------------ #
+    # Incremental maintenance (see repro.serving.SearchService)
+    # ------------------------------------------------------------------ #
+    def _ensure_lsh(self) -> RandomHyperplaneLSH:
+        if self.lsh is None:
+            self.lsh = RandomHyperplaneLSH(
+                self.scorer.config.embed_dim, config=self.lsh_config
+            )
+        return self.lsh
+
+    def add_tables(self, tables: Iterable[Table]) -> IndexBuildStats:
+        """Incrementally index new tables without rebuilding anything.
+
+        Encodings run through the same chunked batched path as a bulk build;
+        the interval tree absorbs the new intervals into its pending buffer
+        and the LSH gains the new codes, so subsequent queries are identical
+        to a from-scratch :meth:`index_repository` over the union (a property
+        ``tests/test_serving.py`` pins).  Already-indexed table ids are
+        skipped.  Build timings accumulate into :attr:`build_stats`.
+        """
+        new_tables = [t for t in tables if t.table_id not in self._tables]
+        for table in new_tables:
+            self._tables[table.table_id] = table
+        if not new_tables:
+            self.build_stats.num_tables = len(self._tables)
+            return self.build_stats
+        self.scorer.index_repository(new_tables)
+
+        start = time.perf_counter()
+        for table in new_tables:
+            self.interval_tree.add_table(table)
+        interval_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        lsh = self._ensure_lsh()
+        for table in new_tables:
+            encoded = self.scorer.encoded_table(table.table_id)
+            lsh.add(table.table_id, encoded.column_embeddings)
+        lsh_seconds = time.perf_counter() - start
+
+        self.build_stats.interval_seconds += interval_seconds
+        self.build_stats.lsh_seconds += lsh_seconds
+        self.build_stats.num_tables = len(self._tables)
+        return self.build_stats
+
+    def remove_tables(self, table_ids: Iterable[str]) -> int:
+        """Drop tables from every structure; returns how many were removed.
+
+        Interval-tree entries are tombstoned (reclaimed on compaction), LSH
+        buckets shed the ids immediately, and the scorer's cached encodings
+        are evicted so the memory actually comes back.
+        """
+        removed = 0
+        for table_id in table_ids:
+            if table_id not in self._tables:
+                continue
+            del self._tables[table_id]
+            self.interval_tree.remove_table(table_id)
+            if self.lsh is not None:
+                self.lsh.remove(table_id)
+            self.scorer.evict_table(table_id)
+            removed += 1
+        self.build_stats.num_tables = len(self._tables)
+        return removed
+
+    def register_table(self, table_id: str, table: Optional[Table] = None) -> None:
+        """Track ``table_id`` as part of the repository (snapshot restore).
+
+        The serving persistence layer registers ids whose encodings were
+        loaded from disk; the raw :class:`Table` is optional because queries
+        only touch the cached encodings and index structures.
+        """
+        self._tables[table_id] = table
+        self.build_stats.num_tables = len(self._tables)
 
     @property
     def table_ids(self) -> List[str]:
@@ -154,8 +238,15 @@ class HybridQueryProcessor:
         chart: LineChart,
         k: int,
         strategy: str = "hybrid",
+        num_verify_shards: int = 1,
     ) -> QueryResult:
-        """Run one top-``k`` query under the chosen indexing strategy."""
+        """Run one top-``k`` query under the chosen indexing strategy.
+
+        ``num_verify_shards > 1`` splits candidate verification into that
+        many stacked matcher forwards instead of one, bounding the padded
+        batch size on very large repositories; scores (hence rankings) are
+        unchanged — only the batch composition per forward differs.
+        """
         start = time.perf_counter()
         candidate_ids = self.candidates(chart, strategy)
         if not candidate_ids:
@@ -163,8 +254,20 @@ class HybridQueryProcessor:
             # to verifying everything (still counted in the timing).
             candidate_ids = set(self._tables.keys())
         # FCM verification runs the batched no-grad path: one stacked matcher
-        # forward scores every surviving candidate at once.
-        scores = self.scorer.score_chart_batch(chart, table_ids=sorted(candidate_ids))
+        # forward per shard scores every surviving candidate.
+        ordered = sorted(candidate_ids)
+        num_shards = max(1, min(int(num_verify_shards), len(ordered) or 1))
+        if num_shards == 1:
+            scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
+        else:
+            shard_size = -(-len(ordered) // num_shards)  # ceil division
+            scores = {}
+            for shard_start in range(0, len(ordered), shard_size):
+                scores.update(
+                    self.scorer.score_chart_batch(
+                        chart, table_ids=ordered[shard_start : shard_start + shard_size]
+                    )
+                )
         ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:k]
         elapsed = time.perf_counter() - start
         return QueryResult(

@@ -8,9 +8,20 @@ overlapping column survives.  The interval tree never prunes a true positive
 (a property the tests verify), so retrieval quality is identical to a linear
 scan while the candidate set shrinks.
 
-The implementation is a classic centered interval tree built once over a
-static set of intervals (queries are read-only), which matches how the paper
-uses it: build offline, query online.
+The implementation is a classic centered interval tree plus the two pieces a
+*serving* deployment needs on top of the paper's build-offline/query-online
+usage (see ``repro.serving``):
+
+* **incremental adds** — intervals added after :meth:`build` land in a small
+  pending buffer that queries scan linearly, so a handful of new tables never
+  trigger an O(n log n) rebuild;
+* **tombstone removes** — :meth:`remove_table` marks a table id dead without
+  touching the tree; queries filter tombstoned intervals out.
+
+Both are *exact*: query answers are always identical to rebuilding from
+scratch over the live intervals (a property the tests verify).  When the
+pending buffer or the tombstone set grows past a fraction of the tree, the
+structure compacts itself with a full rebuild.
 """
 
 from __future__ import annotations
@@ -56,22 +67,48 @@ class _Node:
 
 
 class IntervalTree:
-    """Static centered interval tree supporting overlap queries."""
+    """Centered interval tree with incremental adds and tombstone removes.
+
+    Queries over any interleaving of :meth:`add` / :meth:`remove_table` calls
+    return exactly what a from-scratch rebuild over the live intervals would;
+    :meth:`build` (also triggered automatically once the pending buffer or
+    tombstone set grows past :attr:`COMPACT_FRACTION` of the tree) compacts
+    the incremental state back into a pure tree.
+    """
+
+    #: Minimum incremental-state size before an automatic compaction.
+    COMPACT_MIN = 64
+    #: Fraction of the built tree the pending buffer / tombstoned intervals
+    #: may reach before an automatic compaction.
+    COMPACT_FRACTION = 0.25
 
     def __init__(self, intervals: Optional[Iterable[Interval]] = None) -> None:
-        self._intervals: List[Interval] = list(intervals or [])
+        self._tree_intervals: List[Interval] = []  # what the built tree covers
+        self._pending: List[Interval] = list(intervals or [])
+        self._removed: Set[str] = set()  # tombstoned table ids
+        self._num_tombstoned = 0  # tree intervals covered by tombstones
         self._root: Optional[_Node] = None
         self._built = False
-        if self._intervals:
+        if self._pending:
             self.build()
 
     # ------------------------------------------------------------------ #
     # Construction
     # ------------------------------------------------------------------ #
     def add(self, interval: Interval) -> None:
-        """Add an interval (invalidates the built tree until :meth:`build`)."""
-        self._intervals.append(interval)
-        self._built = False
+        """Add an interval.
+
+        Before the first :meth:`build` this stages the interval for the
+        initial bulk construction; afterwards it lands in the pending buffer
+        (scanned linearly by queries) so incremental adds stay cheap.
+        """
+        if interval.table_id in self._removed:
+            # Re-adding a tombstoned table: materialise the tombstone first
+            # so the stale tree copies cannot resurrect alongside the new one.
+            self.build()
+        self._pending.append(interval)
+        if self._built:
+            self._maybe_compact()
 
     def add_table(self, table: Table) -> None:
         """Index every column of ``table`` by its ``[min, max(sum, max)]`` interval."""
@@ -79,11 +116,48 @@ class IntervalTree:
             low, high = column.index_interval()
             self.add(Interval(low=low, high=high, table_id=table.table_id, column_name=column.name))
 
+    def remove_table(self, table_id: str) -> int:
+        """Drop every interval of ``table_id``; returns how many were removed.
+
+        Tree-resident intervals are tombstoned (filtered out of query
+        results) rather than physically deleted; pending intervals are
+        dropped immediately.  Compaction reclaims tombstones.
+        """
+        removed = 0
+        kept: List[Interval] = []
+        for interval in self._pending:
+            if interval.table_id == table_id:
+                removed += 1
+            else:
+                kept.append(interval)
+        self._pending = kept
+        if table_id not in self._removed:
+            in_tree = sum(
+                1 for interval in self._tree_intervals if interval.table_id == table_id
+            )
+            if in_tree:
+                self._removed.add(table_id)
+                self._num_tombstoned += in_tree
+                removed += in_tree
+        if self._built:
+            self._maybe_compact()
+        return removed
+
     def build(self) -> "IntervalTree":
-        """(Re)build the tree from the currently stored intervals."""
-        self._root = self._build(list(self._intervals))
+        """(Re)build the tree over the live intervals (compacts tombstones)."""
+        live = self.intervals
+        self._tree_intervals = live
+        self._pending = []
+        self._removed = set()
+        self._num_tombstoned = 0
+        self._root = self._build(list(live))
         self._built = True
         return self
+
+    def _maybe_compact(self) -> None:
+        threshold = max(self.COMPACT_MIN, int(self.COMPACT_FRACTION * len(self._tree_intervals)))
+        if len(self._pending) > threshold or self._num_tombstoned > threshold:
+            self.build()
 
     @staticmethod
     def _build(intervals: List[Interval]) -> Optional[_Node]:
@@ -100,23 +174,44 @@ class IntervalTree:
         return node
 
     def __len__(self) -> int:
-        return len(self._intervals)
+        if not self._removed:
+            return len(self._tree_intervals) + len(self._pending)
+        return len(self.intervals)
 
     @property
     def intervals(self) -> List[Interval]:
-        return list(self._intervals)
+        """The live intervals (tombstoned ones excluded, pending included)."""
+        live = [
+            interval
+            for interval in self._tree_intervals
+            if interval.table_id not in self._removed
+        ]
+        live.extend(self._pending)
+        return live
 
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #
     def query(self, low: float, high: float) -> List[Interval]:
-        """Return every stored interval overlapping ``[low, high]``."""
+        """Return every live interval overlapping ``[low, high]``.
+
+        Tree hits are filtered against the tombstone set and the pending
+        buffer is scanned linearly, so the answer is identical to rebuilding
+        from scratch over :attr:`intervals`.
+        """
         if low > high:
             low, high = high, low
         if not self._built:
             self.build()
         results: List[Interval] = []
         self._query(self._root, low, high, results)
+        if self._removed:
+            results = [
+                interval for interval in results if interval.table_id not in self._removed
+            ]
+        for interval in self._pending:
+            if interval.overlaps(low, high):
+                results.append(interval)
         return results
 
     def _query(

@@ -97,6 +97,44 @@ class RandomHyperplaneLSH:
             self._buckets[code].add(table_id)
             self._codes[table_id].add(code)
 
+    def add_codes(self, table_id: str, codes: Iterable[int]) -> None:
+        """Index ``table_id`` under precomputed codes (snapshot restore).
+
+        Used by ``repro.serving`` persistence to rebuild an index from saved
+        codes without re-encoding any table; equivalent to the :meth:`add`
+        calls that produced the codes in the first place.
+        """
+        for code in codes:
+            code = int(code)
+            self._buckets[code].add(table_id)
+            self._codes[table_id].add(code)
+
+    def remove(self, table_id: str) -> bool:
+        """Drop ``table_id`` from every bucket; returns whether it was indexed.
+
+        Empty buckets are deleted so the post-removal state is identical to
+        an index that never saw the table.
+        """
+        codes = self._codes.pop(table_id, None)
+        if codes is None:
+            return False
+        for code in codes:
+            bucket = self._buckets.get(code)
+            if bucket is not None:
+                bucket.discard(table_id)
+                if not bucket:
+                    del self._buckets[code]
+        return True
+
+    def export_codes(self) -> Dict[str, List[int]]:
+        """Per-table sorted code lists (for persistence round trips)."""
+        return {table_id: sorted(codes) for table_id, codes in self._codes.items()}
+
+    @property
+    def buckets(self) -> Dict[int, Set[str]]:
+        """A copy of the bucket contents (for parity checks and diagnostics)."""
+        return {code: set(table_ids) for code, table_ids in self._buckets.items()}
+
     @property
     def num_buckets(self) -> int:
         return len(self._buckets)

@@ -81,12 +81,31 @@ class RelevanceComputer:
             raise ValueError("aggregate must be 'sum' or 'mean'")
         self.normalize = normalize
         self.aggregate = aggregate
+        # The distance settings are captured by the ``_distance`` closure at
+        # construction time (mutating e.g. ``self.normalize`` afterwards does
+        # not change what is computed), so the signature snapshots them here.
+        self._distance_signature = (
+            "banded" if use_banded_dtw else "exact",
+            band,
+            normalize,
+        )
         if use_banded_dtw:
             self._distance: DistanceFn = lambda a, b: dtw_distance_banded(
                 a, b, band=band, normalize=normalize
             )
         else:
             self._distance = lambda a, b: dtw_distance(a, b, normalize=normalize)
+
+    @property
+    def signature(self) -> tuple:
+        """Hashable identity of the computation this instance performs.
+
+        Part of the ``repro.relevance.cache`` memo key, so scores computed
+        under different settings never collide.  ``aggregate`` is read live
+        (the :meth:`relevance` method consults the attribute per call); the
+        distance settings are the ones frozen into the DTW closure.
+        """
+        return self._distance_signature + (self.aggregate,)
 
     # ------------------------------------------------------------------ #
     # Core API

@@ -1,0 +1,26 @@
+"""``repro.serving`` — incremental, sharded, persistent index serving.
+
+The serving layer keeps the hybrid interval-tree + LSH index alive as a
+long-running service instead of a one-shot batch build: in-place
+add/remove of tables, multi-process sharded encoding at build time,
+``.npz`` snapshots that survive restarts, an LRU result cache and
+per-strategy query statistics.  See :class:`SearchService` for the facade
+and ``docs/ARCHITECTURE.md`` ("Serving") for how it sits on the layers.
+"""
+
+from .persistence import SNAPSHOT_VERSION, load_processor, save_processor
+from .service import SearchService, ServiceStats, ServingConfig, StrategyStats
+from .sharding import ShardBuildReport, encode_tables_sharded, shard_tables
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "SearchService",
+    "ServiceStats",
+    "ServingConfig",
+    "ShardBuildReport",
+    "StrategyStats",
+    "encode_tables_sharded",
+    "load_processor",
+    "save_processor",
+    "shard_tables",
+]

@@ -1,0 +1,136 @@
+"""Index snapshots: save/load everything a restarted service needs.
+
+A snapshot is a single ``.npz`` archive holding, per indexed table, the
+cached dataset-encoder representations (the expensive part — the reason a
+restart should not re-encode anything), plus a JSON ``__meta__`` entry with
+the column names/ranges, the LSH configuration and per-table codes, and the
+interval-tree intervals.  Column embeddings are *not* stored: they are the
+mean of the representations over the segment axis and recomputing them on
+load is bit-identical to what was cached.
+
+The format is versioned; loading checks the model's embedding dimension
+against the snapshot so a service cannot silently serve encodings produced
+by an incompatible model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..fcm.model import FCMModel
+from ..fcm.scorer import EncodedTable, FCMScorer
+from ..index.hybrid import HybridQueryProcessor
+from ..index.interval_tree import Interval, IntervalTree
+from ..index.lsh import LSHConfig, RandomHyperplaneLSH
+
+PathLike = Union[str, Path]
+
+SNAPSHOT_VERSION = 1
+
+
+def save_processor(processor: HybridQueryProcessor, path: PathLike) -> Path:
+    """Snapshot a built :class:`HybridQueryProcessor` to ``path`` (``.npz``).
+
+    Saves the cached encodings of every indexed table, the live interval-tree
+    intervals and the LSH codes + configuration.  Model weights are *not*
+    included — persist those separately with
+    :func:`repro.nn.serialization.save_state_dict`.
+    """
+    scorer = processor.scorer
+    table_ids = processor.table_ids
+    tables_meta = []
+    arrays = {}
+    lsh_codes = processor.lsh.export_codes() if processor.lsh is not None else {}
+    for position, table_id in enumerate(table_ids):
+        encoded = scorer.encoded_table(table_id)
+        arrays[f"rep_{position}"] = encoded.representations
+        tables_meta.append(
+            {
+                "table_id": table_id,
+                "column_names": list(encoded.column_names),
+                "column_ranges": [[float(lo), float(hi)] for lo, hi in encoded.column_ranges],
+                "codes": [int(code) for code in lsh_codes.get(table_id, [])],
+            }
+        )
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "embed_dim": scorer.config.embed_dim,
+        "lsh": {
+            "num_bits": processor.lsh_config.num_bits,
+            "hamming_radius": processor.lsh_config.hamming_radius,
+            "seed": processor.lsh_config.seed,
+        },
+        "tables": tables_meta,
+        "intervals": [
+            [float(iv.low), float(iv.high), iv.table_id, iv.column_name]
+            for iv in processor.interval_tree.intervals
+        ],
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+    if path.suffix != ".npz":  # np.savez appends .npz when missing
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def load_processor(
+    model: FCMModel,
+    path: PathLike,
+    scorer: Optional[FCMScorer] = None,
+) -> HybridQueryProcessor:
+    """Rebuild a query processor from a snapshot, without re-encoding.
+
+    The snapshot's cached encodings are injected into a fresh (or supplied)
+    scorer, the interval tree is rebuilt from the saved intervals and the
+    LSH from the saved codes — queries against the result are identical to
+    the processor that was saved (``tests/test_serving.py`` pins the round
+    trip).  Raises ``ValueError`` if the model's embedding dimension does
+    not match the snapshot's.
+    """
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {meta.get('version')!r} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+    if meta["embed_dim"] != model.config.embed_dim:
+        raise ValueError(
+            f"snapshot was built with embed_dim={meta['embed_dim']}, "
+            f"the model has embed_dim={model.config.embed_dim}"
+        )
+
+    scorer = scorer or FCMScorer(model)
+    lsh_config = LSHConfig(**meta["lsh"])
+    processor = HybridQueryProcessor(scorer, lsh_config=lsh_config)
+    lsh = RandomHyperplaneLSH(model.config.embed_dim, config=lsh_config)
+    for position, table_meta in enumerate(meta["tables"]):
+        representations = arrays[f"rep_{position}"]
+        encoded = EncodedTable(
+            table_id=table_meta["table_id"],
+            representations=representations,
+            column_names=list(table_meta["column_names"]),
+            column_ranges=[(lo, hi) for lo, hi in table_meta["column_ranges"]],
+            column_embeddings=representations.mean(axis=1),
+        )
+        scorer.add_encoded(encoded)
+        lsh.add_codes(encoded.table_id, table_meta["codes"])
+        processor.register_table(encoded.table_id)
+    processor.lsh = lsh
+    processor.interval_tree = IntervalTree(
+        Interval(low=low, high=high, table_id=table_id, column_name=column_name)
+        for low, high, table_id, column_name in meta["intervals"]
+    )
+    return processor

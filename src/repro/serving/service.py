@@ -1,0 +1,279 @@
+"""``SearchService`` — a long-lived, mutable, persistent chart-query service.
+
+The paper treats the hybrid index as a one-shot batch build; this facade
+keeps it alive as a *service*:
+
+* **incremental maintenance** — :meth:`SearchService.add_tables` /
+  :meth:`SearchService.remove_tables` mutate the interval tree, the LSH and
+  the scorer's encoding cache in place, with query results provably
+  identical to a from-scratch rebuild;
+* **sharded builds** — :meth:`SearchService.build` can fan table encoding
+  out across worker processes (:mod:`repro.serving.sharding`) and merge the
+  caches;
+* **persistence** — :meth:`SearchService.save_index` /
+  :meth:`SearchService.load_index` snapshot cached encodings, LSH codes and
+  interval data so a restart never re-encodes the repository;
+* **serving ergonomics** — an LRU result cache invalidated on any index
+  mutation, and per-strategy latency / candidate-count statistics.
+
+Example
+-------
+>>> service = SearchService(model)
+>>> service.build(repository.tables, num_workers=4)     # sharded encode
+>>> service.query(chart, k=5).ranking                    # cold
+>>> service.query(chart, k=5)                            # warm (cached)
+>>> service.add_tables(new_tables)                       # incremental, cache invalidated
+>>> service.save_index("index.npz")
+>>> restarted = SearchService.load_index(model, "index.npz")
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..charts.rasterizer import LineChart
+from ..data.table import Table
+from ..fcm.model import FCMModel
+from ..fcm.scorer import FCMScorer
+from ..index.hybrid import (
+    INDEXING_STRATEGIES,
+    HybridQueryProcessor,
+    IndexBuildStats,
+    QueryResult,
+)
+from ..index.lsh import LSHConfig
+from ..vision.extractor import VisualElementExtractor
+from .persistence import PathLike, load_processor, save_processor
+from .sharding import ShardBuildReport, encode_tables_sharded
+
+
+@dataclass
+class ServingConfig:
+    """Knobs of the serving layer (index parameters live in ``LSHConfig``).
+
+    Attributes
+    ----------
+    lsh_config:
+        Parameters of the LSH index structure.
+    result_cache_size:
+        Number of ``(chart, k, strategy)`` results memoised between index
+        mutations; ``0`` disables the cache.
+    num_workers:
+        Default worker-process count for :meth:`SearchService.build`
+        (``<= 1`` encodes in-process).
+    num_query_shards:
+        When ``> 1``, candidate verification fans out over this many shards
+        of the candidate set — one stacked matcher forward per shard —
+        bounding the padded batch size on very large repositories.  Results
+        are identical to the single-batch path.
+    build_timeout:
+        Optional wall-clock guard (seconds) for a sharded build; on expiry
+        the build falls back to the in-process encode.
+    """
+
+    lsh_config: Optional[LSHConfig] = None
+    result_cache_size: int = 128
+    num_workers: int = 1
+    num_query_shards: int = 1
+    build_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.result_cache_size < 0:
+            raise ValueError("result_cache_size must be >= 0")
+        if self.num_query_shards < 1:
+            raise ValueError("num_query_shards must be >= 1")
+
+
+@dataclass
+class StrategyStats:
+    """Accumulated query statistics for one indexing strategy."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    total_seconds: float = 0.0
+    total_candidates: int = 0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.queries if self.queries else 0.0
+
+    @property
+    def mean_candidates(self) -> float:
+        return self.total_candidates / self.queries if self.queries else 0.0
+
+
+@dataclass
+class ServiceStats:
+    """Everything the service has done since construction."""
+
+    per_strategy: Dict[str, StrategyStats] = field(
+        default_factory=lambda: {s: StrategyStats() for s in INDEXING_STRATEGIES}
+    )
+    tables_added: int = 0
+    tables_removed: int = 0
+    invalidations: int = 0
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """A plain-dict snapshot (JSON-friendly, used by the benchmarks)."""
+        return {
+            strategy: {
+                "queries": stats.queries,
+                "cache_hits": stats.cache_hits,
+                "mean_seconds": stats.mean_seconds,
+                "mean_candidates": stats.mean_candidates,
+            }
+            for strategy, stats in self.per_strategy.items()
+            if stats.queries or stats.cache_hits
+        }
+
+
+class SearchService:
+    """Facade over the scorer + index layers for serving chart queries."""
+
+    def __init__(
+        self,
+        model: FCMModel,
+        config: Optional[ServingConfig] = None,
+        extractor: Optional[VisualElementExtractor] = None,
+    ) -> None:
+        self.config = config or ServingConfig()
+        self.scorer = FCMScorer(model, extractor=extractor)
+        self.processor = HybridQueryProcessor(
+            self.scorer, lsh_config=self.config.lsh_config
+        )
+        self.stats = ServiceStats()
+        self.last_shard_report: Optional[ShardBuildReport] = None
+        # (id(chart), k, strategy) -> (chart ref, QueryResult); holding the
+        # chart keeps the id stable (same idiom as FCMScorer.prepare_query).
+        self._result_cache: "OrderedDict[Tuple[int, int, str], Tuple[LineChart, QueryResult]]" = (
+            OrderedDict()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Build + incremental maintenance
+    # ------------------------------------------------------------------ #
+    @property
+    def model(self) -> FCMModel:
+        return self.scorer.model
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.processor.table_ids)
+
+    @property
+    def table_ids(self) -> List[str]:
+        return self.processor.table_ids
+
+    def build(
+        self,
+        tables: Iterable[Table],
+        num_workers: Optional[int] = None,
+    ) -> IndexBuildStats:
+        """Encode and index a repository, optionally across worker processes.
+
+        With ``num_workers > 1`` the table encodings are computed by a
+        process pool (identical to the single-process cached encodings; see
+        :func:`repro.serving.sharding.encode_tables_sharded`) and merged into
+        the scorer cache; the interval tree and LSH are then built from the
+        merged cache.  Falls back to the in-process encode if the pool
+        cannot be used (reported on :attr:`last_shard_report`).
+        """
+        tables = list(tables)
+        workers = self.config.num_workers if num_workers is None else num_workers
+        if workers > 1 and len(tables) > 1:
+            encoded, report = encode_tables_sharded(
+                self.model, tables, num_workers=workers, timeout=self.config.build_timeout
+            )
+            self.last_shard_report = report
+            for item in encoded:
+                self.scorer.add_encoded(item)
+        # The scorer skips already-encoded tables, so after a sharded merge
+        # this only builds the interval tree and LSH.
+        stats = self.processor.index_repository(tables)
+        self._invalidate()
+        return stats
+
+    def add_tables(self, tables: Iterable[Table]) -> IndexBuildStats:
+        """Incrementally index new tables (invalidates the result cache)."""
+        tables = list(tables)
+        stats = self.processor.add_tables(tables)
+        self.stats.tables_added += len(tables)
+        self._invalidate()
+        return stats
+
+    def remove_tables(self, table_ids: Iterable[str]) -> int:
+        """Drop tables from every structure (invalidates the result cache)."""
+        removed = self.processor.remove_tables(table_ids)
+        self.stats.tables_removed += removed
+        if removed:
+            self._invalidate()
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Query serving
+    # ------------------------------------------------------------------ #
+    def _invalidate(self) -> None:
+        if self._result_cache:
+            self.stats.invalidations += 1
+        self._result_cache.clear()
+
+    def query(
+        self,
+        chart: LineChart,
+        k: int,
+        strategy: str = "hybrid",
+    ) -> QueryResult:
+        """Top-``k`` search with result caching and per-strategy statistics.
+
+        Repeated queries for the same chart object (unmutated index) are
+        served from an LRU cache; any :meth:`add_tables` /
+        :meth:`remove_tables` / :meth:`build` call invalidates it.
+        """
+        key = (id(chart), int(k), strategy)
+        hit = self._result_cache.get(key)
+        if hit is not None and hit[0] is chart:
+            self._result_cache.move_to_end(key)
+            self.stats.per_strategy[strategy].cache_hits += 1
+            return hit[1]
+
+        result = self.processor.query(
+            chart, k, strategy=strategy, num_verify_shards=self.config.num_query_shards
+        )
+
+        stats = self.stats.per_strategy[strategy]
+        stats.queries += 1
+        stats.total_seconds += result.seconds
+        stats.total_candidates += result.candidates
+
+        if self.config.result_cache_size > 0:
+            self._result_cache[key] = (chart, result)
+            while len(self._result_cache) > self.config.result_cache_size:
+                self._result_cache.popitem(last=False)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save_index(self, path: PathLike) -> "PathLike":
+        """Snapshot cached encodings + LSH codes + interval data to ``path``."""
+        return save_processor(self.processor, path)
+
+    @classmethod
+    def load_index(
+        cls,
+        model: FCMModel,
+        path: PathLike,
+        config: Optional[ServingConfig] = None,
+        extractor: Optional[VisualElementExtractor] = None,
+    ) -> "SearchService":
+        """Restore a service from a snapshot without re-encoding any table.
+
+        The snapshot's LSH configuration wins over ``config.lsh_config`` (the
+        codes were produced under it); everything else of ``config`` applies.
+        """
+        service = cls(model, config=config, extractor=extractor)
+        processor = load_processor(model, path, scorer=service.scorer)
+        service.processor = processor
+        return service

@@ -31,11 +31,11 @@ def rng() -> np.random.Generator:
 def small_records():
     """A handful of line-chart corpus records shared across tests.
 
-    Sized to the largest slice any test takes (``small_records[:6]``) plus
-    headroom; bigger corpora only add fixture-build time.
+    Sized to the largest slice any test takes (``small_records[:8]`` in the
+    serving tests) plus headroom; bigger corpora only add fixture-build time.
     """
     records = generate_corpus(
-        CorpusConfig(num_records=10, min_rows=80, max_rows=120, seed=3)
+        CorpusConfig(num_records=12, min_rows=80, max_rows=120, seed=3)
     )
     return filter_line_chart_records(records)
 

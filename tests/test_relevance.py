@@ -8,8 +8,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.data import Column, Table
+from repro.fcm import ground_truth_relevance
 from repro.relevance import (
     RelevanceComputer,
+    clear_relevance_cache,
+    relevance_cache_info,
+    set_relevance_cache_enabled,
     dtw_distance,
     dtw_distance_banded,
     dtw_distance_reference,
@@ -249,3 +253,76 @@ class TestRelevance:
         data = simple_table.to_underlying_data(["wave"], x_column="time")
         result = RelevanceComputer().relevance(data, simple_table)
         assert "wave" in result.matched_columns(simple_table)
+
+
+class TestRelevanceCache:
+    """The process-wide memo for ground-truth relevance scores."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        clear_relevance_cache()
+        set_relevance_cache_enabled(None)
+        yield
+        clear_relevance_cache()
+        set_relevance_cache_enabled(None)
+
+    def test_memoised_scores_equal_uncached(self, simple_table):
+        data = simple_table.to_underlying_data(["rising", "wave"], x_column="time")
+        cold = ground_truth_relevance(data, simple_table, max_points=24)
+        warm = ground_truth_relevance(data, simple_table, max_points=24)
+        assert warm == cold
+        info = relevance_cache_info()
+        assert info.hits == 1 and info.size == 1
+
+        set_relevance_cache_enabled(False)
+        uncached = ground_truth_relevance(data, simple_table, max_points=24)
+        assert uncached == pytest.approx(cold, abs=1e-12)
+
+    def test_key_distinguishes_content_not_just_ids(self, simple_table):
+        """Two tables sharing an id but not contents must not collide."""
+        data = simple_table.to_underlying_data(["wave"], x_column="time")
+        rng = np.random.default_rng(7)
+        impostor = Table(
+            simple_table.table_id,
+            [Column("noise", rng.standard_normal(simple_table.num_rows))],
+        )
+        a = ground_truth_relevance(data, simple_table, max_points=24)
+        b = ground_truth_relevance(data, impostor, max_points=24)
+        assert a != b
+        assert relevance_cache_info().size == 2
+
+    def test_key_distinguishes_max_points_and_computer(self, simple_table):
+        data = simple_table.to_underlying_data(["wave"], x_column="time")
+        ground_truth_relevance(data, simple_table, max_points=16)
+        ground_truth_relevance(data, simple_table, max_points=24)
+        ground_truth_relevance(
+            data, simple_table, max_points=24,
+            computer=RelevanceComputer(use_banded_dtw=True, aggregate="mean"),
+        )
+        assert relevance_cache_info().size == 3
+        assert relevance_cache_info().hits == 0
+
+    def test_env_flag_disables(self, simple_table, monkeypatch):
+        monkeypatch.setenv("REPRO_RELEVANCE_CACHE", "0")
+        data = simple_table.to_underlying_data(["wave"], x_column="time")
+        ground_truth_relevance(data, simple_table, max_points=16)
+        assert relevance_cache_info().size == 0
+        assert not relevance_cache_info().enabled
+
+    def test_relevance_matrix_hits_across_recomputation(self, simple_table):
+        """The fixture-cost scenario: recomputing a matrix is pure cache hits."""
+        from repro.data import CorpusConfig, filter_line_chart_records, generate_corpus
+        from repro.fcm import FCMConfig, build_training_data, relevance_matrix
+
+        records = filter_line_chart_records(
+            generate_corpus(CorpusConfig(num_records=6, min_rows=60, max_rows=80, seed=5))
+        )
+        config = FCMConfig(embed_dim=16, num_heads=2, num_layers=1,
+                           data_segment_size=32, beta=2, max_data_segments=4)
+        data = build_training_data(records, config, seed=0)
+        first, order1 = relevance_matrix(data.examples, data.tables, max_points=16)
+        misses_after_first = relevance_cache_info().misses
+        second, order2 = relevance_matrix(data.examples, data.tables, max_points=16)
+        assert order1 == order2
+        assert np.array_equal(first, second)
+        assert relevance_cache_info().misses == misses_after_first  # all hits

@@ -1,0 +1,434 @@
+"""Tests for ``repro.serving``: incremental parity, snapshots, sharded builds.
+
+The load-bearing property throughout: any interleaving of ``add_tables`` /
+``remove_tables`` on a live :class:`SearchService` must be indistinguishable
+— interval-tree candidates, LSH buckets, query rankings — from a
+from-scratch build over the final table set.  Snapshots and multi-process
+sharded builds must be equally invisible.
+
+Everything runs with an *untrained* tiny model: parity properties do not
+depend on the weights, and skipping training keeps the whole module inside
+the ``-m "not slow"`` fast profile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.charts import render_chart_for_table
+from repro.data import Column, Table
+from repro.fcm import FCMModel, FCMScorer
+from repro.index import Interval, IntervalTree, LSHConfig, RandomHyperplaneLSH
+from repro.serving import (
+    SearchService,
+    ServingConfig,
+    encode_tables_sharded,
+    shard_tables,
+)
+
+#: Wall-clock guard for the multi-process tests: a stuck pool degrades to the
+#: in-process fallback instead of hanging the suite.
+SHARD_TIMEOUT_SECONDS = 120.0
+
+STRATEGIES = ("none", "interval", "lsh", "hybrid")
+
+
+def _interval_key(interval: Interval):
+    return (interval.low, interval.high, interval.table_id, interval.column_name)
+
+
+def _interval_set(tree: IntervalTree):
+    return {_interval_key(iv) for iv in tree.intervals}
+
+
+@pytest.fixture(scope="module")
+def serving_model(tiny_fcm_config):
+    return FCMModel(tiny_fcm_config)
+
+
+@pytest.fixture(scope="module")
+def serving_tables(small_records):
+    return [record.table for record in small_records]
+
+
+@pytest.fixture(scope="module")
+def query_charts(small_records, tiny_fcm_config):
+    charts = []
+    for record in small_records[:3]:
+        charts.append(
+            render_chart_for_table(
+                record.table,
+                list(record.spec.y_columns),
+                x_column=record.spec.x_column,
+                spec=tiny_fcm_config.chart_spec,
+            )
+        )
+    return charts
+
+
+def _make_service(model, **config_kwargs) -> SearchService:
+    config_kwargs.setdefault("lsh_config", LSHConfig(num_bits=6, hamming_radius=1))
+    return SearchService(model, ServingConfig(**config_kwargs))
+
+
+def _assert_rankings_match(a, b, tolerance=1e-8):
+    assert [t for t, _ in a.ranking] == [t for t, _ in b.ranking]
+    for (_, score_a), (_, score_b) in zip(a.ranking, b.ranking):
+        assert abs(score_a - score_b) <= tolerance
+
+
+def _assert_equivalent(service: SearchService, reference: SearchService, charts):
+    """Structures and query results of ``service`` equal the fresh rebuild."""
+    assert sorted(service.table_ids) == sorted(reference.table_ids)
+    assert _interval_set(service.processor.interval_tree) == _interval_set(
+        reference.processor.interval_tree
+    )
+    assert service.processor.lsh.buckets == reference.processor.lsh.buckets
+    assert (
+        service.processor.lsh.export_codes()
+        == reference.processor.lsh.export_codes()
+    )
+    for chart in charts:
+        for strategy in STRATEGIES:
+            assert service.processor.candidates(chart, strategy) == (
+                reference.processor.candidates(chart, strategy)
+            )
+            _assert_rankings_match(
+                service.query(chart, k=5, strategy=strategy),
+                reference.query(chart, k=5, strategy=strategy),
+            )
+
+
+# --------------------------------------------------------------------------- #
+# Interval tree: incremental adds, tombstone removes, compaction
+# --------------------------------------------------------------------------- #
+class TestIntervalTreeIncremental:
+    def _brute_force(self, intervals, low, high):
+        return {iv.table_id for iv in intervals if iv.overlaps(low, high)}
+
+    def test_add_after_build_is_queryable_without_rebuild(self):
+        tree = IntervalTree([Interval(0.0, 5.0, "a", "c")])
+        tree.add(Interval(10.0, 20.0, "b", "c"))
+        assert tree.query_table_ids(12.0, 13.0) == {"b"}
+        assert tree.query_table_ids(-100.0, 100.0) == {"a", "b"}
+        assert len(tree) == 2
+
+    def test_remove_table_tombstones_until_compaction(self):
+        tree = IntervalTree(
+            [
+                Interval(0.0, 5.0, "a", "c1"),
+                Interval(3.0, 8.0, "a", "c2"),
+                Interval(4.0, 12.0, "b", "c1"),
+            ]
+        )
+        assert tree.remove_table("a") == 2
+        assert tree.query_table_ids(4.0, 4.5) == {"b"}
+        assert len(tree) == 1
+        assert {iv.table_id for iv in tree.intervals} == {"b"}
+        # Compaction must not change any answer.
+        tree.build()
+        assert tree.query_table_ids(4.0, 4.5) == {"b"}
+        assert len(tree) == 1
+
+    def test_remove_unknown_table_is_noop(self):
+        tree = IntervalTree([Interval(0.0, 1.0, "a", "c")])
+        assert tree.remove_table("nope") == 0
+        assert tree.query_table_ids(0.0, 1.0) == {"a"}
+
+    def test_remove_then_re_add_does_not_resurrect_stale_intervals(self):
+        tree = IntervalTree(
+            [Interval(0.0, 5.0, "a", "old"), Interval(10.0, 20.0, "b", "c")]
+        )
+        tree.remove_table("a")
+        tree.add(Interval(100.0, 200.0, "a", "new"))
+        assert tree.query_table_ids(0.0, 5.0) == set()  # old "a" stays dead
+        assert tree.query_table_ids(150.0, 160.0) == {"a"}
+
+    def test_random_interleaving_matches_brute_force(self):
+        rng = np.random.default_rng(42)
+        tree = IntervalTree()
+        live: list = []
+        next_id = 0
+        for step in range(200):
+            action = rng.random()
+            if action < 0.55 or not live:
+                low = float(rng.uniform(-50, 50))
+                interval = Interval(low, low + float(rng.uniform(0, 20)), f"t{next_id}", "c")
+                next_id += 1
+                tree.add(interval)
+                live.append(interval)
+            else:
+                victim = live[int(rng.integers(len(live)))].table_id
+                expected_removed = sum(1 for iv in live if iv.table_id == victim)
+                assert tree.remove_table(victim) == expected_removed
+                live = [iv for iv in live if iv.table_id != victim]
+            if step % 10 == 0:
+                low = float(rng.uniform(-60, 60))
+                high = low + float(rng.uniform(0, 30))
+                assert tree.query_table_ids(low, high) == self._brute_force(live, low, high)
+        assert {_interval_key(iv) for iv in tree.intervals} == {
+            _interval_key(iv) for iv in live
+        }
+
+    def test_auto_compaction_keeps_answers_exact(self):
+        tree = IntervalTree([Interval(0.0, 1.0, "seed", "c")])
+        live = [Interval(0.0, 1.0, "seed", "c")]
+        # Push far past COMPACT_MIN so at least one auto-compaction fires.
+        for i in range(3 * IntervalTree.COMPACT_MIN):
+            interval = Interval(float(i), float(i) + 0.5, f"t{i}", "c")
+            tree.add(interval)
+            live.append(interval)
+        assert tree._pending != live  # compaction actually happened
+        for low, high in [(-5.0, 0.5), (10.2, 10.4), (0.0, 1e9)]:
+            assert tree.query_table_ids(low, high) == self._brute_force(live, low, high)
+
+
+# --------------------------------------------------------------------------- #
+# LSH: removal and code export/import
+# --------------------------------------------------------------------------- #
+class TestLSHRemove:
+    def test_remove_drops_table_and_empty_buckets(self):
+        lsh = RandomHyperplaneLSH(8, LSHConfig(num_bits=8, hamming_radius=0, seed=0))
+        rng = np.random.default_rng(0)
+        shared = rng.standard_normal(8)
+        lsh.add("a", shared[None, :])
+        lsh.add("b", shared[None, :])
+        lsh.add("c", rng.standard_normal((2, 8)))
+        buckets_before = lsh.buckets
+
+        assert lsh.remove("c") is True
+        assert lsh.remove("c") is False  # already gone
+        assert "c" not in lsh.indexed_table_ids
+        # Post-removal state identical to an index that never saw "c".
+        fresh = RandomHyperplaneLSH(8, LSHConfig(num_bits=8, hamming_radius=0, seed=0))
+        fresh.add("a", shared[None, :])
+        fresh.add("b", shared[None, :])
+        assert lsh.buckets == fresh.buckets
+        assert lsh.query(shared[None, :]) == {"a", "b"}
+        assert buckets_before != lsh.buckets
+
+    def test_export_codes_round_trip(self):
+        lsh = RandomHyperplaneLSH(8, LSHConfig(num_bits=6, hamming_radius=1, seed=3))
+        rng = np.random.default_rng(1)
+        for i in range(4):
+            lsh.add(f"t{i}", rng.standard_normal((3, 8)))
+        clone = RandomHyperplaneLSH(8, LSHConfig(num_bits=6, hamming_radius=1, seed=3))
+        for table_id, codes in lsh.export_codes().items():
+            clone.add_codes(table_id, codes)
+        assert clone.buckets == lsh.buckets
+        probe = rng.standard_normal((2, 8))
+        assert clone.query(probe) == lsh.query(probe)
+
+
+# --------------------------------------------------------------------------- #
+# SearchService: incremental parity with a from-scratch rebuild
+# --------------------------------------------------------------------------- #
+class TestIncrementalParity:
+    def test_adds_and_removes_match_fresh_rebuild(
+        self, serving_model, serving_tables, query_charts
+    ):
+        assert len(serving_tables) >= 8
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+
+        # Interleave: add 3, remove 2 (one original, one just added), add 1 back.
+        service.add_tables(serving_tables[5:8])
+        service.remove_tables([serving_tables[1].table_id, serving_tables[6].table_id])
+        service.add_tables([serving_tables[1]])
+
+        final_ids = {t.table_id for t in serving_tables[:8]} - {serving_tables[6].table_id}
+        final_tables = [t for t in serving_tables[:8] if t.table_id in final_ids]
+        reference = _make_service(FCMModel(serving_model.config))
+        reference.build(final_tables)
+
+        assert sorted(service.table_ids) == sorted(t.table_id for t in final_tables)
+        _assert_equivalent(service, reference, query_charts)
+
+    def test_add_existing_table_is_idempotent(self, serving_model, serving_tables):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:4])
+        stats = service.add_tables(serving_tables[:4])
+        assert stats.num_tables == 4
+        assert sorted(service.table_ids) == sorted(t.table_id for t in serving_tables[:4])
+
+    def test_remove_evicts_scorer_cache(self, serving_model, serving_tables):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        victim = serving_tables[0].table_id
+        assert victim in service.scorer.indexed_table_ids
+        assert service.remove_tables([victim]) == 1
+        assert victim not in service.scorer.indexed_table_ids
+        with pytest.raises(KeyError):
+            service.scorer.encoded_table(victim)
+
+    def test_query_fanout_matches_single_batch(
+        self, serving_model, serving_tables, query_charts
+    ):
+        service = _make_service(serving_model, num_query_shards=3)
+        service.build(serving_tables[:7])
+        flat = _make_service(serving_model)
+        flat.processor = service.processor  # same index, different verify path
+        for chart in query_charts:
+            for strategy in STRATEGIES:
+                _assert_rankings_match(
+                    service.query(chart, k=5, strategy=strategy),
+                    flat.query(chart, k=5, strategy=strategy),
+                )
+
+
+# --------------------------------------------------------------------------- #
+# Result cache + statistics
+# --------------------------------------------------------------------------- #
+class TestResultCacheAndStats:
+    def test_warm_query_hits_cache_and_mutation_invalidates(
+        self, serving_model, serving_tables, query_charts
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        chart = query_charts[0]
+
+        cold = service.query(chart, k=3)
+        warm = service.query(chart, k=3)
+        assert warm is cold  # served from the cache, not recomputed
+        stats = service.stats.per_strategy["hybrid"]
+        assert stats.queries == 1 and stats.cache_hits == 1
+        assert stats.mean_seconds > 0 and stats.mean_candidates > 0
+
+        service.add_tables([serving_tables[5]])
+        after_add = service.query(chart, k=3)
+        assert after_add is not cold
+        assert after_add.total_tables == cold.total_tables + 1
+        assert service.stats.invalidations >= 1
+        assert service.stats.tables_added == 1
+
+    def test_cache_distinguishes_k_and_strategy(
+        self, serving_model, serving_tables, query_charts
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        chart = query_charts[0]
+        a = service.query(chart, k=2, strategy="none")
+        b = service.query(chart, k=4, strategy="none")
+        c = service.query(chart, k=2, strategy="interval")
+        assert len(a.ranking) == 2 and len(b.ranking) == 4
+        assert a is not b and a is not c
+
+    def test_zero_cache_size_disables_caching(
+        self, serving_model, serving_tables, query_charts
+    ):
+        service = _make_service(serving_model, result_cache_size=0)
+        service.build(serving_tables[:4])
+        chart = query_charts[0]
+        first = service.query(chart, k=3)
+        second = service.query(chart, k=3)
+        assert first is not second
+        _assert_rankings_match(first, second)
+
+
+# --------------------------------------------------------------------------- #
+# Persistence: snapshot round trip
+# --------------------------------------------------------------------------- #
+class TestSnapshot:
+    def test_save_load_round_trip_preserves_everything(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:6])
+        service.remove_tables([serving_tables[2].table_id])  # snapshot mid-life
+
+        path = service.save_index(tmp_path / "index.npz")
+        loaded = SearchService.load_index(serving_model, path)
+
+        assert sorted(loaded.table_ids) == sorted(service.table_ids)
+        _assert_equivalent(loaded, service, query_charts)
+        # The restored scorer cache is byte-identical, no re-encoding needed.
+        for table_id in service.table_ids:
+            np.testing.assert_array_equal(
+                loaded.scorer.encoded_table(table_id).representations,
+                service.scorer.encoded_table(table_id).representations,
+            )
+
+    def test_loaded_service_supports_further_mutation(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        path = service.save_index(tmp_path / "index.npz")
+
+        loaded = SearchService.load_index(serving_model, path)
+        loaded.add_tables(serving_tables[5:7])
+        loaded.remove_tables([serving_tables[0].table_id])
+
+        reference = _make_service(FCMModel(serving_model.config))
+        reference.build(serving_tables[1:7])
+        _assert_equivalent(loaded, reference, query_charts)
+
+    def test_embed_dim_mismatch_rejected(
+        self, serving_model, serving_tables, tiny_fcm_config, tmp_path
+    ):
+        from dataclasses import replace
+
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        path = service.save_index(tmp_path / "index.npz")
+        other = FCMModel(replace(tiny_fcm_config, embed_dim=8, num_heads=2))
+        with pytest.raises(ValueError, match="embed_dim"):
+            SearchService.load_index(other, path)
+
+
+# --------------------------------------------------------------------------- #
+# Sharded multi-process builds
+# --------------------------------------------------------------------------- #
+class TestShardedBuild:
+    def test_shard_tables_partitions_everything_once(self, serving_tables):
+        shards = shard_tables(serving_tables, 3)
+        flattened = [t.table_id for shard in shards for t in shard]
+        assert flattened == [t.table_id for t in serving_tables]
+        assert len(shards) == 3
+
+    def test_sharded_encodings_match_single_process(self, serving_model, serving_tables):
+        tables = serving_tables[:6]
+        encoded, report = encode_tables_sharded(
+            serving_model, tables, num_workers=2, timeout=SHARD_TIMEOUT_SECONDS
+        )
+        if report.fallback_reason is not None:
+            pytest.skip(f"process pool unavailable: {report.fallback_reason}")
+        assert report.num_workers == 2
+        assert [tid for shard in report.shards for tid in shard] == [
+            t.table_id for t in tables
+        ]
+        reference = FCMScorer(serving_model)
+        reference.index_repository(tables)
+        assert [e.table_id for e in encoded] == [t.table_id for t in tables]
+        for item in encoded:
+            expected = reference.encoded_table(item.table_id)
+            np.testing.assert_allclose(
+                item.representations, expected.representations, atol=1e-8
+            )
+            np.testing.assert_allclose(
+                item.column_embeddings, expected.column_embeddings, atol=1e-8
+            )
+            assert item.column_names == expected.column_names
+
+    def test_sharded_service_build_queries_match(
+        self, serving_model, serving_tables, query_charts
+    ):
+        sharded = _make_service(serving_model, build_timeout=SHARD_TIMEOUT_SECONDS)
+        sharded.build(serving_tables[:6], num_workers=2)
+        if (
+            sharded.last_shard_report is not None
+            and sharded.last_shard_report.fallback_reason is not None
+        ):
+            pytest.skip(
+                f"process pool unavailable: {sharded.last_shard_report.fallback_reason}"
+            )
+        reference = _make_service(FCMModel(serving_model.config))
+        reference.build(serving_tables[:6])
+        _assert_equivalent(sharded, reference, query_charts)
+
+    def test_single_worker_skips_the_pool(self, serving_model, serving_tables):
+        encoded, report = encode_tables_sharded(serving_model, serving_tables[:3], num_workers=1)
+        assert report.num_workers == 1
+        assert report.fallback_reason is None
+        assert len(encoded) == 3
