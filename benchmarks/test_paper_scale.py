@@ -1,0 +1,126 @@
+"""Paper-scale feasibility: float32 vs float64 memory and throughput.
+
+The ROADMAP's "paper-scale config feasibility" item: with the precision
+policy in place (:mod:`repro.nn.dtype`), measure how far
+``paper_scale_config()`` (768-dim, 12 layers) gets on this CPU and what the
+float32 policy buys at quickstart and paper-scale dims.
+
+One probe subprocess runs per precision (``paper_scale_probe.py`` with
+``REPRO_DTYPE`` set) so each gets its own honest peak-RSS reading on this
+machine; the merged numbers land in ``BENCH_paper_scale.json`` at the
+repository root and ``benchmarks/results/paper_scale.txt``.
+
+The asserted contract is the structural one — float32 cuts the paper-scale
+parameter and encoded-cache footprint by ≥ 1.5x (it is exactly 2x by
+construction; the measurement keeps the number honest) — while wall-clock
+throughput is recorded without a threshold (1-CPU container timers are
+noisy; see ``REPRO_SKIP_PERF_TESTS`` elsewhere).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_paper_scale.json"
+PROBE = Path(__file__).resolve().parent / "paper_scale_probe.py"
+
+#: Per-probe wall-clock guard.
+PROBE_TIMEOUT_SECONDS = 1200.0
+
+
+def _scale() -> str:
+    if os.environ.get("REPRO_BENCH_SCALE", "default").lower() == "smoke":
+        return "smoke"
+    return "default"
+
+
+def _run_probe(dtype: str, scale: str) -> dict:
+    env = dict(os.environ, REPRO_DTYPE=dtype)
+    env.pop("PYTHONPATH", None)  # the probe inserts src/ itself
+    out = subprocess.run(
+        [sys.executable, str(PROBE), "--scale", scale],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=PROBE_TIMEOUT_SECONDS,
+        cwd=REPO_ROOT,
+    )
+    assert out.returncode == 0, f"{dtype} probe failed:\n{out.stderr[-2000:]}"
+    return json.loads(out.stdout.splitlines()[-1])
+
+
+def _ratio(num, den):
+    if not num or not den:
+        return None
+    return num / den
+
+
+def test_paper_scale_feasibility(record_result):
+    scale = _scale()
+    per_dtype = {dtype: _run_probe(dtype, scale) for dtype in ("float64", "float32")}
+
+    f64, f32 = per_dtype["float64"], per_dtype["float32"]
+    reduction = {
+        "paper_scale_param_bytes": _ratio(
+            f64["paper_scale"].get("param_bytes"), f32["paper_scale"].get("param_bytes")
+        ),
+        "paper_scale_encoded_cache_bytes": _ratio(
+            f64["paper_scale"].get("encoded_cache_bytes"),
+            f32["paper_scale"].get("encoded_cache_bytes"),
+        ),
+        "peak_rss_mb": _ratio(f64.get("peak_rss_mb"), f32.get("peak_rss_mb")),
+        "quickstart_param_bytes": _ratio(
+            f64["quickstart"]["param_bytes"], f32["quickstart"]["param_bytes"]
+        ),
+    }
+    report = {
+        "benchmark": "paper_scale_feasibility",
+        "scale": scale,
+        "num_cpus": multiprocessing.cpu_count(),
+        "per_dtype": per_dtype,
+        "float64_over_float32": reduction,
+    }
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        "Paper-scale feasibility (paper_scale_config: 768-dim, 12 layers)",
+        f"  scale={scale}  cpus={report['num_cpus']}",
+    ]
+    for dtype in ("float64", "float32"):
+        probe = per_dtype[dtype]
+        ps = probe["paper_scale"]
+        stages = ", ".join(
+            f"{name}={info['status']}"
+            + (f" {info['seconds']:.2f}s" if info.get("seconds") is not None else "")
+            for name, info in ps["stages"].items()
+        )
+        lines.append(
+            f"  {dtype}: params={ps.get('param_bytes', 0) / 1e6:.1f}MB "
+            f"cache={ps.get('encoded_cache_bytes', 0) / 1e6:.2f}MB "
+            f"peak_rss={probe['peak_rss_mb']:.0f}MB "
+            f"quickstart={probe['quickstart']['steps_per_sec']:.2f} steps/s"
+        )
+        lines.append(f"    stages: {stages}")
+    lines.append(
+        "  float64/float32: "
+        + ", ".join(
+            f"{k}={v:.2f}x" for k, v in reduction.items() if v is not None
+        )
+    )
+    record_result("paper_scale", "\n".join(lines))
+
+    # Every stage the float64 run reaches, float32 must reach too.
+    for name, info in f64["paper_scale"]["stages"].items():
+        if info["status"] == "ok":
+            assert f32["paper_scale"]["stages"][name]["status"] == "ok", name
+    # The acceptance contract: >= 1.5x smaller at paper-scale dims.
+    assert reduction["paper_scale_param_bytes"] is not None
+    assert reduction["paper_scale_param_bytes"] >= 1.5
+    if reduction["paper_scale_encoded_cache_bytes"] is not None:
+        assert reduction["paper_scale_encoded_cache_bytes"] >= 1.5

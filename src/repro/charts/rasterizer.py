@@ -13,6 +13,7 @@ object therefore doubles as a LineChartSeg training example.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -81,6 +82,33 @@ class LineChart:
     @property
     def width(self) -> int:
         return int(self.image.shape[1])
+
+    def fingerprint(self) -> str:
+        """Content hash of everything query processing reads from this chart.
+
+        Two charts with identical pixels, per-line masks, ticks and geometry
+        hash identically even when they are distinct objects (e.g. the same
+        table rendered twice) — the serving layer keys its query-preparation
+        and result caches by this instead of object identity, so equal charts
+        share cache entries and a mutated chart can never be served a stale
+        result.  The hash is O(pixels), orders of magnitude cheaper than the
+        visual-element extraction it deduplicates.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(np.ascontiguousarray(self.image).tobytes())
+        digest.update(np.ascontiguousarray(self.class_mask).tobytes())
+        for mask in self.line_masks:
+            digest.update(np.ascontiguousarray(mask).tobytes())
+        digest.update(repr(self.spec).encode("utf-8"))
+        digest.update(
+            np.asarray(self.axis_range, dtype=np.float64).tobytes()
+        )
+        digest.update(
+            np.asarray(
+                [(tick.value, tick.pixel_row) for tick in self.ticks], dtype=np.float64
+            ).tobytes()
+        )
+        return digest.hexdigest()
 
 
 def _value_to_row(values: np.ndarray, axis_range: Tuple[float, float], spec: ChartSpec) -> np.ndarray:

@@ -39,12 +39,14 @@ class SegmentLineChartEncoder(Module):
 
     def encode_line(self, segment_features: np.ndarray) -> Tensor:
         """Encode one line's ``(N1, F1)`` segment features into ``(N1, K)``."""
-        features = np.asarray(segment_features, dtype=np.float64)
+        features = np.asarray(segment_features, dtype=self.config.numeric_dtype)
         if features.ndim != 2:
             raise ValueError(
                 f"expected (N1, F1) segment features, got shape {features.shape}"
             )
-        embedded = self.patch_projection(Tensor(features))
+        embedded = self.patch_projection(
+            Tensor(features, dtype=self.config.numeric_dtype)
+        )
         return self.encoder(embedded)
 
     def forward(self, chart_segment_features: np.ndarray) -> Tensor:
@@ -61,7 +63,7 @@ class SegmentLineChartEncoder(Module):
         Tensor
             ``E_V`` of shape ``(M, N1, K)``.
         """
-        features = np.asarray(chart_segment_features, dtype=np.float64)
+        features = np.asarray(chart_segment_features, dtype=self.config.numeric_dtype)
         if features.ndim != 3:
             raise ValueError(
                 f"expected (M, N1, F1) chart features, got shape {features.shape}"
@@ -70,7 +72,9 @@ class SegmentLineChartEncoder(Module):
         # blocks treat the leading axis as a batch dimension, so lines do not
         # attend to each other (matching the per-line encoding of Sec. IV-B)
         # while the Python-level op count stays independent of M.
-        embedded = self.patch_projection(Tensor(features))
+        embedded = self.patch_projection(
+            Tensor(features, dtype=self.config.numeric_dtype)
+        )
         return self.encoder(embedded)
 
     def forward_many(self, charts_segment_features: Sequence[np.ndarray]) -> List[Tensor]:
@@ -94,7 +98,7 @@ class SegmentLineChartEncoder(Module):
         >>> [r.shape for r in reprs]      # [(M_a, N1, K), (M_b, N1, K)]
         """
         arrays = [
-            np.asarray(features, dtype=np.float64)
+            np.asarray(features, dtype=self.config.numeric_dtype)
             for features in charts_segment_features
         ]
         if not arrays:

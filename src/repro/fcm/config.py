@@ -13,7 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..charts.spec import ChartSpec
+from ..nn import default_dtype, resolve_dtype
 
 
 @dataclass
@@ -54,6 +57,12 @@ class FCMConfig:
         Geometry of the rendered charts; needed to derive feature sizes.
     seed:
         Seed for parameter initialisation.
+    dtype:
+        Numeric precision of the model: ``"float32"``, ``"float64"`` or
+        ``None`` (adopt the process-wide policy of :mod:`repro.nn.dtype` at
+        model construction; :class:`~repro.fcm.model.FCMModel` pins the
+        resolved name back onto its config so encoders, cached encodings,
+        index structures, snapshots and sharded-build workers all agree).
     """
 
     embed_dim: int = 32
@@ -77,8 +86,13 @@ class FCMConfig:
 
     chart_spec: ChartSpec = field(default_factory=ChartSpec)
     seed: int = 0
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.dtype is not None:
+            # Normalise (np.float32, "float32", dtype('float32') all work)
+            # and reject anything but the supported float precisions.
+            self.dtype = resolve_dtype(self.dtype).name
         if self.embed_dim % self.num_heads != 0:
             raise ValueError("embed_dim must be divisible by num_heads")
         if self.line_segment_width <= 0 or self.data_segment_size <= 0:
@@ -124,6 +138,19 @@ class FCMConfig:
     def num_experts(self) -> int:
         """Four aggregation operators plus the identity expert (Sec. V-B)."""
         return 5
+
+    @property
+    def numeric_dtype(self) -> np.dtype:
+        """The resolved numeric precision of this configuration.
+
+        ``dtype=None`` follows the process-wide policy *at call time*; a
+        constructed :class:`~repro.fcm.model.FCMModel` pins the resolved name
+        onto its config so the model's precision never drifts with later
+        policy changes.
+        """
+        if self.dtype is None:
+            return default_dtype()
+        return np.dtype(self.dtype)
 
     def with_overrides(self, **kwargs) -> "FCMConfig":
         """Return a copy with the given fields replaced."""

@@ -166,7 +166,7 @@ class DataAggregationEncoder(Module):
         ``P2`` axis by ``K`` — i.e. ``(..., K)`` segment embeddings (and
         optionally the MoE gate weights of shape ``(..., num_experts)``).
         """
-        segments = np.asarray(segments, dtype=np.float64)
+        segments = np.asarray(segments, dtype=self.config.numeric_dtype)
         if segments.ndim < 2 or segments.shape[-1] != self.config.data_segment_size:
             raise ValueError(
                 f"expected (..., {self.config.data_segment_size}) segments, "
@@ -176,7 +176,7 @@ class DataAggregationEncoder(Module):
         sub_segments = segments.reshape(
             *segments.shape[:-1], num_leaves, self.config.sub_segment_size
         )
-        sub_tensor = Tensor(sub_segments)
+        sub_tensor = Tensor(sub_segments, dtype=self.config.numeric_dtype)
 
         expert_roots: List[Tensor] = []
         for transformation in self.transformations:

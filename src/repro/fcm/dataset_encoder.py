@@ -48,11 +48,18 @@ class SegmentDatasetEncoder(Module):
         """Per-segment embeddings before the transformer, shape ``(..., K)``."""
         if self.da_encoder is not None:
             return self.da_encoder(segments)
-        return self.segment_projection(Tensor(np.asarray(segments, dtype=np.float64)))
+        # The explicit Tensor dtype pins the model's precision even when the
+        # ambient policy differs (per-model dtype support).
+        return self.segment_projection(
+            Tensor(
+                np.asarray(segments, dtype=self.config.numeric_dtype),
+                dtype=self.config.numeric_dtype,
+            )
+        )
 
     def encode_column(self, segments: np.ndarray) -> Tensor:
         """Encode one column's ``(N2, P2)`` segments into ``(N2, K)``."""
-        segments = np.asarray(segments, dtype=np.float64)
+        segments = np.asarray(segments, dtype=self.config.numeric_dtype)
         if segments.ndim != 2:
             raise ValueError(
                 f"expected (N2, P2) column segments, got shape {segments.shape}"
@@ -74,7 +81,7 @@ class SegmentDatasetEncoder(Module):
         Tensor
             ``E_T`` of shape ``(NC, N2, K)``.
         """
-        segments = np.asarray(table_segments, dtype=np.float64)
+        segments = np.asarray(table_segments, dtype=self.config.numeric_dtype)
         if segments.ndim != 3:
             raise ValueError(
                 f"expected (NC, N2, P2) table segments, got shape {segments.shape}"
@@ -109,7 +116,7 @@ class SegmentDatasetEncoder(Module):
             padded positions are meaningless and must be sliced away by the
             caller.
         """
-        segments = np.asarray(segments, dtype=np.float64)
+        segments = np.asarray(segments, dtype=self.config.numeric_dtype)
         valid = np.asarray(segment_mask, dtype=bool)
         if segments.ndim != 3 or valid.shape != segments.shape[:2]:
             raise ValueError(
@@ -141,7 +148,10 @@ class SegmentDatasetEncoder(Module):
         >>> reprs = encoder.forward_many([input_a.segments, input_b.segments])
         >>> [r.shape for r in reprs]   # [(NC_a, N2_a, K), (NC_b, N2_b, K)]
         """
-        arrays = [np.asarray(block, dtype=np.float64) for block in tables_segments]
+        arrays = [
+            np.asarray(block, dtype=self.config.numeric_dtype)
+            for block in tables_segments
+        ]
         if not arrays:
             raise ValueError("forward_many needs at least one table")
         p2 = self.config.data_segment_size
@@ -154,7 +164,7 @@ class SegmentDatasetEncoder(Module):
                 raise ValueError("cannot encode a table with zero surviving columns")
         total_columns = sum(block.shape[0] for block in arrays)
         n2_max = max(block.shape[1] for block in arrays)
-        flat = np.zeros((total_columns, n2_max, p2))
+        flat = np.zeros((total_columns, n2_max, p2), dtype=self.config.numeric_dtype)
         mask = np.zeros((total_columns, n2_max), dtype=bool)
         offset = 0
         for block in arrays:

@@ -48,10 +48,10 @@ def _masked_mean(values: Tensor, mask: np.ndarray) -> Tensor:
     ``.mean()`` of the per-pair path on the unpadded entries.
     """
     axes = tuple(range(1, values.ndim))
-    counts = np.asarray(mask, dtype=bool).sum(axis=axes).astype(np.float64)
-    kept = where(mask, values, Tensor(0.0))
+    counts = np.asarray(mask, dtype=bool).sum(axis=axes).astype(values.data.dtype)
+    kept = where(mask, values, 0.0)
     total = kept.sum(axis=axes)
-    return (total * Tensor(1.0 / np.maximum(counts, 1.0))).reshape(-1, 1)
+    return (total * (1.0 / np.maximum(counts, 1.0))).reshape(-1, 1)
 
 
 class InteractionHead(Module):
@@ -554,12 +554,14 @@ class AveragedMatcher(Module):
         b = table_batch.shape[0]
         seg_valid = np.asarray(segment_mask, dtype=bool)
         chart_vec = chart_repr.mean(axis=(0, 1))  # (K,), shared by the batch
-        chart_vecs = chart_vec.expand_dims(0) + Tensor(np.zeros((b, 1)))
-        # Masked mean over the real (column, segment) cells of each candidate.
-        counts = seg_valid.sum(axis=(1, 2)).astype(np.float64)  # (B,)
-        table_vecs = (table_batch * Tensor(seg_valid[..., None].astype(np.float64))).sum(
-            axis=(1, 2)
-        ) * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+        chart_vecs = chart_vec.expand_dims(0) + np.zeros((b, 1))
+        # Masked mean over the real (column, segment) cells of each candidate;
+        # the bool mask and count arrays are lifted to the batch dtype by the
+        # ops themselves.
+        counts = seg_valid.sum(axis=(1, 2))  # (B,)
+        table_vecs = (table_batch * seg_valid[..., None]).sum(axis=(1, 2)) * (
+            1.0 / np.maximum(counts, 1.0)
+        )[:, None]
         return self.head.forward_batch(chart_vecs, table_vecs)
 
     def forward_pairs(
@@ -578,9 +580,9 @@ class AveragedMatcher(Module):
         """
 
         def _pooled(values: Tensor, valid: np.ndarray) -> Tensor:
-            counts = valid.sum(axis=(1, 2)).astype(np.float64)
-            total = (values * Tensor(valid[..., None].astype(np.float64))).sum(axis=(1, 2))
-            return total * Tensor((1.0 / np.maximum(counts, 1.0))[:, None])
+            counts = valid.sum(axis=(1, 2))
+            total = (values * valid[..., None]).sum(axis=(1, 2))
+            return total * (1.0 / np.maximum(counts, 1.0))[:, None]
 
         chart_vecs = _pooled(chart_batch, np.asarray(chart_mask, dtype=bool))
         table_vecs = _pooled(table_batch, np.asarray(segment_mask, dtype=bool))

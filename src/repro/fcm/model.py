@@ -15,7 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..nn import Module, Tensor
+from ..nn import Module, Tensor, using_dtype
 from .chart_encoder import SegmentLineChartEncoder
 from .config import FCMConfig
 from .dataset_encoder import SegmentDatasetEncoder
@@ -24,15 +24,28 @@ from .preprocessing import ChartInput, TableInput
 
 
 class FCMModel(Module):
-    """Fine-grained Cross-modal Relevance Learning Model."""
+    """Fine-grained Cross-modal Relevance Learning Model.
+
+    Precision: the model's dtype is pinned at construction — an explicit
+    ``config.dtype`` wins, otherwise the process-wide policy
+    (:mod:`repro.nn.dtype`) is adopted and written back onto the config.
+    Parameters are initialised under that dtype (same random value stream as
+    float64, rounded), encoder inputs are cast to it, and downstream
+    consumers (scorer caches, LSH, snapshots, sharded-build workers) read it
+    from ``config`` so a model and its index structures can never disagree.
+    """
 
     def __init__(self, config: Optional[FCMConfig] = None) -> None:
         super().__init__()
-        self.config = config or FCMConfig()
+        config = config or FCMConfig()
+        if config.dtype is None:
+            config = config.with_overrides(dtype=str(config.numeric_dtype))
+        self.config = config
         rng = np.random.default_rng(self.config.seed)
-        self.chart_encoder = SegmentLineChartEncoder(self.config, rng)
-        self.dataset_encoder = SegmentDatasetEncoder(self.config, rng)
-        self.matcher = build_matcher(self.config, rng)
+        with using_dtype(self.config.numeric_dtype):
+            self.chart_encoder = SegmentLineChartEncoder(self.config, rng)
+            self.dataset_encoder = SegmentDatasetEncoder(self.config, rng)
+            self.matcher = build_matcher(self.config, rng)
 
     # ------------------------------------------------------------------ #
     # Differentiable building blocks

@@ -147,8 +147,11 @@ def prepare_chart_input(
     std = features.std()
     if std > 1e-8:
         features = (features - features.mean()) / std
+    # Stored in the model's precision: chart inputs are cached (query-prep
+    # LRU, training examples), so the policy's memory win applies to them
+    # too.  Standardisation above stays in float64 for exactness.
     return ChartInput(
-        segment_features=features,
+        segment_features=features.astype(config.numeric_dtype, copy=False),
         y_range=elements.y_range,
     )
 
@@ -225,5 +228,15 @@ def prepare_table_input(
             pad = np.repeat(segments[-1:], max_n2 - segments.shape[0], axis=0)
             segments = np.concatenate([segments, pad], axis=0)
         segment_blocks.append(segments)
-    stacked = np.stack(segment_blocks) if segment_blocks else np.zeros((0, 1, config.data_segment_size))
-    return TableInput(segments=stacked, column_names=names, table_id=table.table_id)
+    stacked = (
+        np.stack(segment_blocks)
+        if segment_blocks
+        else np.zeros((0, 1, config.data_segment_size))
+    )
+    # Stored in the model's precision (segmentation/normalisation above runs
+    # in float64): table inputs are cached across epochs and index builds.
+    return TableInput(
+        segments=stacked.astype(config.numeric_dtype, copy=False),
+        column_names=names,
+        table_id=table.table_id,
+    )

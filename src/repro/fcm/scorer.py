@@ -85,7 +85,11 @@ def pad_candidate_batch(
     dim = representations[0].shape[-1]
     nc_max = max(rep.shape[0] for rep in representations)
     n2_max = max(rep.shape[1] for rep in representations)
-    batch = np.zeros((len(representations), nc_max, n2_max, dim))
+    # The padded batch inherits the cached representations' dtype, so a
+    # float32 model's scoring batches stay float32 end to end.
+    batch = np.zeros(
+        (len(representations), nc_max, n2_max, dim), dtype=representations[0].dtype
+    )
     segment_mask = np.zeros((len(representations), nc_max, n2_max), dtype=bool)
     column_mask = np.zeros((len(representations), nc_max), dtype=bool)
     for i, rep in enumerate(representations):
@@ -122,12 +126,12 @@ class FCMScorer:
         self.config: FCMConfig = model.config
         self.extractor = extractor or VisualElementExtractor()
         self._encoded: Dict[str, EncodedTable] = {}
-        # Maps id(chart) -> (chart, ChartInput).  Holding the chart reference
-        # keeps the id stable; preprocessing is model-independent, so entries
-        # never go stale even while the model trains.
-        self._query_cache: "OrderedDict[int, Tuple[LineChart, ChartInput]]" = (
-            OrderedDict()
-        )
+        # Maps chart *content hash* -> ChartInput (see LineChart.fingerprint):
+        # equal charts share an entry even when they are distinct objects,
+        # and a chart mutated in place hashes to a new key, so entries can
+        # never go stale.  Preprocessing is model-independent, so entries
+        # stay valid while the model trains.
+        self._query_cache: "OrderedDict[str, ChartInput]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Table indexing
@@ -239,22 +243,22 @@ class FCMScorer:
     def prepare_query(self, chart: LineChart) -> ChartInput:
         """Extract visual elements and build the chart encoder input.
 
-        Results are memoised per chart object (small LRU): a single query is
-        prepared once even when it is scored under several index strategies
-        or against several candidate batches.  The cache assumes charts are
-        immutable once scored — every in-repo producer returns a fresh
-        :class:`LineChart` — so a caller that mutates a chart in place must
-        call :meth:`clear_query_cache` (or pass a new object) before
-        re-scoring it.
+        Results are memoised per chart *content* (small LRU keyed by
+        :meth:`LineChart.fingerprint <repro.charts.rasterizer.LineChart.fingerprint>`):
+        a single query is prepared once even when it is scored under several
+        index strategies, against several candidate batches, or arrives as a
+        *different object with equal pixels* (the same table rendered twice).
+        Mutating a chart in place simply hashes to a new key — no stale
+        entry can be returned.
         """
-        key = id(chart)
+        key = chart.fingerprint()
         hit = self._query_cache.get(key)
-        if hit is not None and hit[0] is chart:
+        if hit is not None:
             self._query_cache.move_to_end(key)
-            return hit[1]
+            return hit
         elements = self.extractor.extract(chart)
         chart_input = prepare_chart_input(chart, elements, self.config)
-        self._query_cache[key] = (chart, chart_input)
+        self._query_cache[key] = chart_input
         while len(self._query_cache) > self.QUERY_CACHE_SIZE:
             self._query_cache.popitem(last=False)
         return chart_input
@@ -285,7 +289,10 @@ class FCMScorer:
         """Relevance of one query against one cached table."""
         with self.model.inference():
             chart_repr = self.model.encode_chart(chart_input)
-            table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+            table_repr = Tensor(
+                self._select_columns(encoded, chart_input.y_range),
+                dtype=self.config.numeric_dtype,
+            )
             return float(self.model.match(chart_repr, table_repr).item())
 
     def score_chart(
@@ -306,7 +313,10 @@ class FCMScorer:
             chart_repr = self.model.encode_chart(chart_input)
             for table_id in ids:
                 encoded = self.encoded_table(table_id)
-                table_repr = Tensor(self._select_columns(encoded, chart_input.y_range))
+                table_repr = Tensor(
+                    self._select_columns(encoded, chart_input.y_range),
+                    dtype=self.config.numeric_dtype,
+                )
                 scores[table_id] = float(self.model.match(chart_repr, table_repr).item())
         return scores
 
@@ -354,7 +364,10 @@ class FCMScorer:
                 ]
                 batch, segment_mask, column_mask = pad_candidate_batch(selected)
                 batch_scores = self.model.match_batch(
-                    chart_repr, Tensor(batch), segment_mask, column_mask
+                    chart_repr,
+                    Tensor(batch, dtype=self.config.numeric_dtype),
+                    segment_mask,
+                    column_mask,
                 ).numpy()
                 batch_scores = np.atleast_1d(batch_scores)
                 for table_id, score in zip(chunk_ids, batch_scores):

@@ -22,7 +22,10 @@ and is the ground truth the equivalence tests compare against.
 
 from __future__ import annotations
 
+import multiprocessing
 import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,6 +38,7 @@ from ..data.corpus import CorpusRecord
 from ..data.table import Table, UnderlyingData
 from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, pad_stack, stack
 from ..relevance import RelevanceComputer, relevance_cache
+from ..relevance.cache import data_fingerprint, table_fingerprint
 from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
 from .model import FCMModel
@@ -190,18 +194,92 @@ def ground_truth_relevance(
     return score
 
 
+#: Per-process state for the parallel cold relevance pass: set once by the
+#: pool initializer so the (potentially large) series/tables cross the
+#: process boundary a single time rather than once per task.
+_RELEVANCE_WORKER_STATE: Optional[Tuple[List[UnderlyingData], List[Table], int]] = None
+
+
+def _init_relevance_worker(
+    underlyings: List[UnderlyingData], tables: List[Table], max_points: int
+) -> None:
+    global _RELEVANCE_WORKER_STATE
+    _RELEVANCE_WORKER_STATE = (underlyings, tables, max_points)
+
+
+def _relevance_rows(row_indices: List[int]) -> Tuple[List[int], np.ndarray]:
+    """Compute the relevance-matrix rows for ``row_indices`` in a worker."""
+    if _RELEVANCE_WORKER_STATE is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("relevance worker used before initialisation")
+    underlyings, tables, max_points = _RELEVANCE_WORKER_STATE
+    computer = RelevanceComputer(aggregate="mean")
+    rows = np.zeros((len(row_indices), len(tables)))
+    for r, i in enumerate(row_indices):
+        for j, table in enumerate(tables):
+            rows[r, j] = ground_truth_relevance(
+                underlyings[i], table, max_points=max_points, computer=computer
+            )
+    return row_indices, rows
+
+
 def relevance_matrix(
     examples: Sequence[TrainingExample],
     tables: Dict[str, Table],
     max_points: int = 48,
+    num_workers: int = 1,
+    timeout: Optional[float] = None,
 ) -> Tuple[np.ndarray, List[str]]:
     """Ground-truth relevance of every example against every table.
 
     Returns the matrix (``num_examples x num_tables``) and the table-id order
     of its columns.
+
+    The **cold** pass is the dominant fixture cost of training — O(examples
+    x tables) DTW sweeps.  With ``num_workers > 1`` the example rows are
+    fanned across a process pool (same pattern as
+    :mod:`repro.serving.sharding`: pool-lifetime initializer, graceful
+    in-process fallback on any pool failure, optional ``timeout``); each
+    entry is a deterministic function of the data contents, so the parallel
+    matrix is identical to the serial one.  Worker results are written back
+    into the process-wide relevance memo, and a fully-warm call is served
+    from the memo *without spawning a pool at all* — so recomputation across
+    negative-sampling strategies stays a pure cache hit exactly as in the
+    serial path.
     """
     table_ids = list(tables.keys())
     computer = RelevanceComputer(aggregate="mean")
+    if num_workers > 1 and len(examples) > 1 and table_ids:
+        cache = relevance_cache()
+        keys = None
+        if cache.enabled:
+            # A warm pass must stay a pure cache hit (no pool spawn, no
+            # pickling the corpus into workers): probe the memo first and
+            # only fan out when something is actually missing.  Fingerprints
+            # are hashed once per example/table (O(E+T)), not per pair.
+            data_fps = [data_fingerprint(example.underlying) for example in examples]
+            table_fps = [table_fingerprint(tables[tid]) for tid in table_ids]
+            keys = [
+                [
+                    cache.key_from_fingerprints(
+                        data_fp, table_fp, max_points, computer.signature
+                    )
+                    for table_fp in table_fps
+                ]
+                for data_fp in data_fps
+            ]
+            cached = [[cache.get(key) for key in row] for row in keys]
+            if all(value is not None for row in cached for value in row):
+                return np.asarray(cached, dtype=np.float64), table_ids
+        matrix = _relevance_matrix_sharded(
+            examples, [tables[tid] for tid in table_ids], max_points,
+            num_workers=num_workers, timeout=timeout,
+        )
+        if matrix is not None:
+            if keys is not None:
+                for i, row in enumerate(keys):
+                    for j, key in enumerate(row):
+                        cache.put(key, float(matrix[i, j]))
+            return matrix, table_ids
     matrix = np.zeros((len(examples), len(table_ids)))
     for i, example in enumerate(examples):
         for j, table_id in enumerate(table_ids):
@@ -209,6 +287,54 @@ def relevance_matrix(
                 example.underlying, tables[table_id], max_points=max_points, computer=computer
             )
     return matrix, table_ids
+
+
+def _relevance_matrix_sharded(
+    examples: Sequence[TrainingExample],
+    tables: List[Table],
+    max_points: int,
+    num_workers: int,
+    timeout: Optional[float] = None,
+) -> Optional[np.ndarray]:
+    """Row-sharded relevance matrix; ``None`` signals in-process fallback."""
+    num_workers = max(1, min(int(num_workers), len(examples)))
+    if num_workers <= 1:
+        return None
+    row_shards = [
+        [int(i) for i in shard]
+        for shard in np.array_split(np.arange(len(examples)), num_workers)
+        if len(shard)
+    ]
+    underlyings = [example.underlying for example in examples]
+    start = time.perf_counter()
+    pool: Optional[ProcessPoolExecutor] = None
+    try:
+        context = multiprocessing.get_context()
+        pool = ProcessPoolExecutor(
+            max_workers=len(row_shards),
+            mp_context=context,
+            initializer=_init_relevance_worker,
+            initargs=(underlyings, tables, max_points),
+        )
+        futures = [pool.submit(_relevance_rows, shard) for shard in row_shards]
+        deadline = None if timeout is None else start + timeout
+        matrix = np.zeros((len(examples), len(tables)))
+        for future in futures:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            row_indices, rows = future.result(timeout=remaining)
+            matrix[row_indices] = rows
+        pool.shutdown(wait=True)
+        return matrix
+    except Exception as exc:  # degrade to the serial pass, never fail training
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        warnings.warn(
+            "parallel relevance pass fell back to the serial in-process sweep: "
+            f"{type(exc).__name__}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
 
 
 # --------------------------------------------------------------------------- #
@@ -226,6 +352,10 @@ class TrainerConfig:
     grad_clip: Optional[float] = 5.0
     seed: int = 0
     relevance_max_points: int = 48
+    #: Worker processes for the cold ground-truth relevance pass (the first
+    #: O(examples x tables) DTW sweep); ``<= 1`` computes it in-process.
+    #: Results are identical either way — see :func:`relevance_matrix`.
+    relevance_workers: int = 1
     #: Compute each minibatch's contrastive loss through one stacked
     #: forward/backward (:meth:`FCMTrainer._batch_loss`) instead of the
     #: per-pair loop (:meth:`FCMTrainer._batch_loss_reference`).  Both paths
@@ -316,7 +446,10 @@ class FCMTrainer:
         """
         if relevance is None or table_order is None:
             relevance, table_order = relevance_matrix(
-                data.examples, data.tables, max_points=self.config.relevance_max_points
+                data.examples,
+                data.tables,
+                max_points=self.config.relevance_max_points,
+                num_workers=self.config.relevance_workers,
             )
         table_index = {table_id: j for j, table_id in enumerate(table_order)}
 

@@ -107,7 +107,11 @@ class HybridQueryProcessor:
 
         start = time.perf_counter()
         embedding_dim = self.scorer.config.embed_dim
-        self.lsh = RandomHyperplaneLSH(embedding_dim, config=self.lsh_config)
+        self.lsh = RandomHyperplaneLSH(
+            embedding_dim,
+            config=self.lsh_config,
+            dtype=self.scorer.config.numeric_dtype,
+        )
         for table in tables:
             encoded = self.scorer.encoded_table(table.table_id)
             self.lsh.add(table.table_id, encoded.column_embeddings)
@@ -126,7 +130,9 @@ class HybridQueryProcessor:
     def _ensure_lsh(self) -> RandomHyperplaneLSH:
         if self.lsh is None:
             self.lsh = RandomHyperplaneLSH(
-                self.scorer.config.embed_dim, config=self.lsh_config
+                self.scorer.config.embed_dim,
+                config=self.lsh_config,
+                dtype=self.scorer.config.numeric_dtype,
             )
         return self.lsh
 

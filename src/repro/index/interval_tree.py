@@ -111,10 +111,22 @@ class IntervalTree:
             self._maybe_compact()
 
     def add_table(self, table: Table) -> None:
-        """Index every column of ``table`` by its ``[min, max(sum, max)]`` interval."""
+        """Index every column of ``table`` by its ``[min, max(sum, max)]`` interval.
+
+        Payloads are coerced to Python floats, so intervals are identical
+        whatever precision the column arrays carry (float32 tables hash,
+        snapshot and compare exactly like float64 ones).
+        """
         for column in table.columns:
             low, high = column.index_interval()
-            self.add(Interval(low=low, high=high, table_id=table.table_id, column_name=column.name))
+            self.add(
+                Interval(
+                    low=float(low),
+                    high=float(high),
+                    table_id=table.table_id,
+                    column_name=column.name,
+                )
+            )
 
     def remove_table(self, table_id: str) -> int:
         """Drop every interval of ``table_id``; returns how many were removed.

@@ -48,15 +48,31 @@ class LSHConfig:
 
 
 class RandomHyperplaneLSH:
-    """Sign-random-projection LSH index mapping embeddings to table ids."""
+    """Sign-random-projection LSH index mapping embeddings to table ids.
 
-    def __init__(self, embedding_dim: int, config: Optional[LSHConfig] = None) -> None:
+    ``dtype`` sets the precision of the hyperplane matrix and of the
+    projections (``None`` = float64, the historical behaviour): under a
+    float32 model the hyperplanes and every hashed embedding stay float32,
+    halving the projection bandwidth.  The hyperplane *values* are drawn in
+    float64 and rounded, so float32 codes are computed against the same
+    hyperplanes a float64 index uses.
+    """
+
+    def __init__(
+        self,
+        embedding_dim: int,
+        config: Optional[LSHConfig] = None,
+        dtype=None,
+    ) -> None:
         if embedding_dim < 1:
             raise ValueError("embedding_dim must be >= 1")
         self.config = config or LSHConfig()
         self.embedding_dim = embedding_dim
+        self.dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
         rng = np.random.default_rng(self.config.seed)
-        self._hyperplanes = rng.standard_normal((self.config.num_bits, embedding_dim))
+        self._hyperplanes = rng.standard_normal(
+            (self.config.num_bits, embedding_dim)
+        ).astype(self.dtype, copy=False)
         self._buckets: Dict[int, Set[str]] = defaultdict(set)
         self._codes: Dict[str, Set[int]] = defaultdict(set)
 
@@ -65,7 +81,7 @@ class RandomHyperplaneLSH:
     # ------------------------------------------------------------------ #
     def hash_vector(self, vector: np.ndarray) -> int:
         """Binary code of ``vector`` packed into an integer."""
-        vector = np.asarray(vector, dtype=np.float64)
+        vector = np.asarray(vector, dtype=self.dtype)
         if vector.shape != (self.embedding_dim,):
             raise ValueError(
                 f"expected embedding of shape ({self.embedding_dim},), got {vector.shape}"
@@ -91,7 +107,7 @@ class RandomHyperplaneLSH:
         embeddings:
             Array of shape ``(num_columns, embedding_dim)``.
         """
-        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=self.dtype))
         for row in embeddings:
             code = self.hash_vector(row)
             self._buckets[code].add(table_id)
@@ -159,7 +175,7 @@ class RandomHyperplaneLSH:
 
     def query(self, embeddings: np.ndarray) -> Set[str]:
         """Tables colliding with *any* of the query embeddings (chart lines)."""
-        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float64))
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=self.dtype))
         result: Set[str] = set()
         for row in embeddings:
             result.update(self.query_code(self.hash_vector(row)))

@@ -5,6 +5,11 @@ This package is the substrate substituting for PyTorch in the reproduction of
 (:mod:`repro.nn.tensor`), module/parameter management, the layers used by the
 paper (linear projections, layer norm, MLPs, multi-head attention, transformer
 encoders), optimizers and losses.
+
+The working precision is a process-wide policy (:mod:`repro.nn.dtype`):
+float64 by default — bit-for-bit the historical engine — or float32 for a
+~2x memory/bandwidth win, selected via ``REPRO_DTYPE``,
+:func:`set_default_dtype` or the :class:`using_dtype` context manager.
 """
 
 from .attention import (
@@ -12,6 +17,13 @@ from .attention import (
     MultiHeadSelfAttention,
     masked_keep,
     scaled_dot_product_attention,
+)
+from .dtype import (
+    SUPPORTED_DTYPES,
+    default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+    using_dtype,
 )
 from .layers import MLP, Dropout, Embedding, LayerNorm, Linear, PositionalEmbedding
 from .losses import (
@@ -55,6 +67,7 @@ __all__ = [
     "Parameter",
     "PositionalEmbedding",
     "SGD",
+    "SUPPORTED_DTYPES",
     "Sequential",
     "StepLR",
     "Tensor",
@@ -65,6 +78,7 @@ __all__ = [
     "concatenate",
     "contrastive_cosine_loss",
     "cross_entropy",
+    "default_dtype",
     "enable_grad",
     "is_grad_enabled",
     "load_state_dict",
@@ -73,8 +87,11 @@ __all__ = [
     "no_grad",
     "pad",
     "pad_stack",
+    "resolve_dtype",
     "save_state_dict",
     "scaled_dot_product_attention",
+    "set_default_dtype",
     "stack",
+    "using_dtype",
     "where",
 ]

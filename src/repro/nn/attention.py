@@ -37,9 +37,10 @@ def masked_keep(values: Tensor, keep: np.ndarray, fill: float) -> Tensor:
 
     Note the convention: ``keep`` is a *validity* mask (True = real data), the
     opposite of ``torch.Tensor.masked_fill``, whose mask marks the positions
-    to overwrite — hence the different name.
+    to overwrite — hence the different name.  The fill value is lifted to
+    ``values``' dtype, so masking follows the active precision policy.
     """
-    return where(np.asarray(keep, dtype=bool), values, Tensor(fill))
+    return where(np.asarray(keep, dtype=bool), values, fill)
 
 
 def scaled_dot_product_attention(
@@ -68,8 +69,9 @@ def scaled_dot_product_attention(
     d = query.shape[-1]
     scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
     if mask is not None:
+        # The penalty array is lifted to the scores' dtype by the op itself.
         penalty = np.where(np.asarray(mask, dtype=bool), 0.0, -1e9)
-        scores = scores + Tensor(penalty)
+        scores = scores + penalty
     weights = scores.softmax(axis=-1)
     return weights.matmul(value), weights
 

@@ -1,0 +1,125 @@
+"""Process-wide numeric precision policy for the NumPy engine.
+
+Everything in ``repro.nn`` used to run in hardwired float64.  This module
+makes the working precision a first-class *policy*: a process-wide default
+dtype consulted wherever the engine materialises a float array — tensor
+creation, scalar lifting inside ops, parameter initialisation, optimizer
+state (which follows the parameters), and the factory helpers.
+
+The policy is resolved in this order:
+
+1. :func:`set_default_dtype` / the :class:`using_dtype` context manager
+   (programmatic control, innermost scope wins);
+2. the ``REPRO_DTYPE`` environment variable (``"float32"``/``"float64"``),
+   read once at import;
+3. float64, the historical default — under it every computation is
+   bit-for-bit identical to the pre-policy engine.
+
+Accumulation exceptions
+-----------------------
+Reductions are numerically fragile in float32, so a few well-defined spots
+always *accumulate* in float64 and cast the result back to the policy dtype:
+``Tensor.sum`` (hence ``mean``/``var``, LayerNorm statistics and every loss
+reduction built on them) and the softmax / log-softmax denominators.  Matrix
+multiplication accumulates in the input precision (that is where the float32
+bandwidth win comes from).  In float64 mode the extra ``dtype=`` arguments
+are no-ops, preserving bitwise equality with the historical engine.
+
+Example
+-------
+>>> from repro.nn import default_dtype, set_default_dtype, using_dtype
+>>> default_dtype()
+dtype('float64')
+>>> with using_dtype("float32"):
+...     assert default_dtype() == np.float32
+>>> default_dtype()                      # restored on exit
+dtype('float64')
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+DTypeLike = Union[str, type, np.dtype]
+
+#: The precisions the engine supports end to end.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_ENV_FLAG = "REPRO_DTYPE"
+
+
+def resolve_dtype(dtype: Optional[DTypeLike] = None) -> np.dtype:
+    """Normalise ``dtype`` to a supported ``np.dtype`` (None → the default).
+
+    Raises ``ValueError`` for anything other than float32/float64 — the
+    engine's ops, losses and serialization are only validated for these two.
+    """
+    if dtype is None:
+        return default_dtype()
+    resolved = np.dtype(dtype)
+    if resolved not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dtype!r}; expected one of "
+            f"{[d.name for d in SUPPORTED_DTYPES]}"
+        )
+    return resolved
+
+
+def _initial_default() -> np.dtype:
+    env = os.environ.get(_ENV_FLAG)
+    if env is None:
+        return np.dtype(np.float64)
+    try:
+        return resolve_dtype(env)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(
+            f"invalid {_ENV_FLAG}={env!r}; expected 'float32' or 'float64'"
+        ) from exc
+
+
+_DEFAULT_DTYPE: np.dtype = _initial_default()
+
+
+def default_dtype() -> np.dtype:
+    """The dtype new tensors (and lifted scalars) are created with."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(dtype: DTypeLike) -> np.dtype:
+    """Set the process-wide default dtype; returns the previous one.
+
+    Existing tensors and parameters keep their dtype — the policy only
+    affects arrays created afterwards.  Prefer :class:`using_dtype` for
+    scoped changes.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(dtype)
+    return previous
+
+
+class using_dtype:
+    """Context manager scoping the default dtype (reentrant, restores on exit).
+
+    Example
+    -------
+    >>> with using_dtype(np.float32):
+    ...     w = Tensor.randn((4, 4))
+    >>> w.dtype
+    dtype('float32')
+    """
+
+    def __init__(self, dtype: DTypeLike) -> None:
+        self._dtype = resolve_dtype(dtype)
+        self._outer: list = []
+
+    def __enter__(self) -> "using_dtype":
+        self._outer.append(set_default_dtype(self._dtype))
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        set_default_dtype(self._outer.pop())
+        return False

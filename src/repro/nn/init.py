@@ -3,6 +3,11 @@
 Each function returns a plain ``numpy.ndarray``; wrapping it into a
 :class:`~repro.nn.tensor.Tensor` parameter is the caller's job (usually a
 :class:`~repro.nn.module.Module` subclass).
+
+Precision policy: every scheme draws its random values in float64 — so the
+value stream is identical whatever the active dtype, and float32 parameters
+are exactly the rounded float64 ones — and casts the result to ``dtype``
+(``None`` = the process-wide policy dtype, see :mod:`repro.nn.dtype`).
 """
 
 from __future__ import annotations
@@ -10,6 +15,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
+
+from .dtype import resolve_dtype
 
 
 def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
@@ -32,67 +39,72 @@ def xavier_uniform(
     shape: Tuple[int, ...],
     rng: Optional[np.random.Generator] = None,
     gain: float = 1.0,
+    dtype=None,
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fans(shape)
     limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
 def xavier_normal(
     shape: Tuple[int, ...],
     rng: Optional[np.random.Generator] = None,
     gain: float = 1.0,
+    dtype=None,
 ) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     rng = rng or np.random.default_rng()
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
 def kaiming_uniform(
     shape: Tuple[int, ...],
     rng: Optional[np.random.Generator] = None,
     nonlinearity: str = "relu",
+    dtype=None,
 ) -> np.ndarray:
     """He/Kaiming uniform initialisation for ReLU-family activations."""
     rng = rng or np.random.default_rng()
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
     limit = gain * np.sqrt(3.0 / fan_in)
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
 def kaiming_normal(
     shape: Tuple[int, ...],
     rng: Optional[np.random.Generator] = None,
     nonlinearity: str = "relu",
+    dtype=None,
 ) -> np.ndarray:
     """He/Kaiming normal initialisation for ReLU-family activations."""
     rng = rng or np.random.default_rng()
     fan_in, _ = _fans(shape)
     gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
     std = gain / np.sqrt(fan_in)
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)
 
 
-def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+def zeros(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-zero initialisation (used for biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=resolve_dtype(dtype))
 
 
-def ones(shape: Tuple[int, ...]) -> np.ndarray:
+def ones(shape: Tuple[int, ...], dtype=None) -> np.ndarray:
     """All-one initialisation (used for LayerNorm scale)."""
-    return np.ones(shape)
+    return np.ones(shape, dtype=resolve_dtype(dtype))
 
 
 def normal(
     shape: Tuple[int, ...],
     rng: Optional[np.random.Generator] = None,
     std: float = 0.02,
+    dtype=None,
 ) -> np.ndarray:
     """Small-std normal initialisation (used for positional embeddings)."""
     rng = rng or np.random.default_rng()
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(resolve_dtype(dtype), copy=False)

@@ -114,7 +114,8 @@ class Dropout(Module):
             return x
         keep = 1.0 - self.p
         mask = self._rng.random(x.shape) < keep
-        return x * Tensor(mask / keep)
+        # The mask array is lifted to x's dtype by the multiply itself.
+        return x * (mask / keep)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Dropout(p={self.p})"

@@ -15,8 +15,16 @@ import numpy as np
 from .tensor import Tensor
 
 
-def _ensure_tensor(value) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(value)
+def _ensure_tensor(value, like: Optional[Tensor] = None) -> Tensor:
+    """Lift ``value`` to a Tensor, following ``like``'s dtype when given.
+
+    Targets are lifted to the predictions' dtype so a float32 model's loss
+    graph never silently promotes to float64 (loss *reductions* still
+    accumulate in float64 — see :mod:`repro.nn.dtype`).
+    """
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=None if like is None else like.data.dtype)
 
 
 def binary_cross_entropy(
@@ -26,7 +34,7 @@ def binary_cross_entropy(
 ) -> Tensor:
     """Plain BCE over probabilities (not logits)."""
     predictions = _ensure_tensor(predictions)
-    targets = _ensure_tensor(targets)
+    targets = _ensure_tensor(targets, like=predictions)
     clipped = predictions.clip(eps, 1.0 - eps)
     loss = -(targets * clipped.log() + (1.0 - targets) * (1.0 - clipped).log())
     return loss.mean()
@@ -49,7 +57,7 @@ def balanced_binary_cross_entropy(
         Ground-truth labels in ``{0, 1}`` (or soft labels in ``[0, 1]``).
     """
     predictions = _ensure_tensor(predictions)
-    targets = _ensure_tensor(targets)
+    targets = _ensure_tensor(targets, like=predictions)
     clipped = predictions.clip(eps, 1.0 - eps)
     target_data = targets.data
     n_pos = float(np.sum(target_data > 0.5))
@@ -62,7 +70,7 @@ def balanced_binary_cross_entropy(
 def mse_loss(predictions: Tensor, targets) -> Tensor:
     """Mean squared error."""
     predictions = _ensure_tensor(predictions)
-    targets = _ensure_tensor(targets)
+    targets = _ensure_tensor(targets, like=predictions)
     diff = predictions - targets
     return (diff * diff).mean()
 

@@ -18,10 +18,15 @@ from .tensor import Tensor, no_grad
 
 
 class Parameter(Tensor):
-    """A tensor that is registered as a trainable parameter of a module."""
+    """A tensor that is registered as a trainable parameter of a module.
 
-    def __init__(self, data, name: Optional[str] = None) -> None:
-        super().__init__(data, requires_grad=True, name=name)
+    Created in the process-wide policy dtype unless ``dtype`` pins one (see
+    :mod:`repro.nn.dtype`); gradients and optimizer state follow the
+    parameter's dtype, not the policy at backward time.
+    """
+
+    def __init__(self, data, name: Optional[str] = None, dtype=None) -> None:
+        super().__init__(data, requires_grad=True, name=name, dtype=dtype)
 
 
 class Module:
@@ -84,6 +89,37 @@ class Module:
         """Total number of scalar parameters in the module tree."""
         return sum(param.size for param in self.parameters())
 
+    def parameter_nbytes(self) -> int:
+        """Total bytes held by the parameters (halves under float32)."""
+        return sum(param.data.nbytes for param in self.parameters())
+
+    @property
+    def dtype(self):
+        """The parameters' dtype (``None`` for a parameter-less module).
+
+        Mixed-precision module trees are not supported by the engine, so the
+        first parameter's dtype is authoritative.
+        """
+        for _, param in self.named_parameters():
+            return param.data.dtype
+        return None
+
+    def to_dtype(self, dtype) -> "Module":
+        """Cast every parameter (and its gradient) in place; returns self.
+
+        The in-place analogue of constructing the module under
+        :class:`repro.nn.using_dtype`; optimizer state created *before* the
+        cast keeps its old dtype, so cast before building the optimizer.
+        """
+        from .dtype import resolve_dtype
+
+        target = resolve_dtype(dtype)
+        for _, param in self.named_parameters():
+            param.data = param.data.astype(target, copy=False)
+            if param.grad is not None:
+                param.grad = param.grad.astype(target, copy=False)
+        return self
+
     # ------------------------------------------------------------------ #
     # Training state
     # ------------------------------------------------------------------ #
@@ -145,6 +181,10 @@ class Module:
         strict:
             When true (default), missing or unexpected keys raise ``KeyError``
             and shape mismatches raise ``ValueError``.
+
+        Values are cast to each parameter's own dtype (load-and-cast): a
+        float64 checkpoint loads cleanly into a float32 module and vice
+        versa — precision follows the *module*, not the file.
         """
         own = dict(self.named_parameters())
         if strict:

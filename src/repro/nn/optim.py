@@ -3,6 +3,12 @@
 The paper trains FCM with Adam (learning rate 1e-6, 60 epochs); SGD is also
 provided because ablation experiments in the appendix discuss SGD-based
 mini-batch training.
+
+Optimizer state (SGD velocity, Adam first/second moments) is allocated with
+``np.zeros_like`` on the parameters, so it always follows the *parameter*
+dtype — under the float32 policy (:mod:`repro.nn.dtype`) Adam's state
+shrinks 2x along with the weights, and gradients arrive pre-cast to the
+parameter dtype by the autodiff engine.
 """
 
 from __future__ import annotations

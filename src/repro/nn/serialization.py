@@ -1,4 +1,12 @@
-"""Saving and loading model parameters as ``.npz`` archives."""
+"""Saving and loading model parameters as ``.npz`` archives.
+
+Checkpoints record the parameters' dtype alongside the arrays (under the
+reserved ``dtype`` metadata key), and loading is **load-and-cast**: values
+are cast to the receiving module's own parameter dtype, so a float64
+checkpoint restores cleanly into a float32 module (and vice versa).  The
+recorded dtype is returned in the metadata for callers that want to check
+what precision a file was trained under.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,9 @@ from .module import Module
 
 PathLike = Union[str, Path]
 
+#: Reserved metadata key recording the parameters' dtype at save time.
+DTYPE_METADATA_KEY = "dtype"
+
 
 def save_state_dict(
     module: Module,
@@ -21,16 +32,26 @@ def save_state_dict(
     """Save a module's parameters (and optional JSON metadata) to ``path``.
 
     The archive stores one array per parameter under its qualified name plus
-    an optional ``__metadata__`` entry containing a JSON string.
+    a ``__metadata__`` entry containing a JSON string.  The parameters'
+    dtype is always recorded under the reserved ``"dtype"`` metadata key
+    (caller-supplied metadata must not use it).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     state = module.state_dict()
     arrays: Dict[str, np.ndarray] = dict(state)
-    if metadata is not None:
-        arrays["__metadata__"] = np.frombuffer(
-            json.dumps(metadata, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    meta: Dict[str, object] = dict(metadata or {})
+    if DTYPE_METADATA_KEY in meta:
+        raise ValueError(
+            f"metadata key {DTYPE_METADATA_KEY!r} is reserved for the "
+            "checkpoint's parameter dtype"
         )
+    module_dtype = module.dtype
+    if module_dtype is not None:
+        meta[DTYPE_METADATA_KEY] = np.dtype(module_dtype).name
+    arrays["__metadata__"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
     np.savez(path, **arrays)
     # ``np.savez`` appends .npz if missing; normalise the returned path.
     if path.suffix != ".npz":
@@ -45,8 +66,11 @@ def load_state_dict(
 ) -> Dict[str, object]:
     """Load parameters saved by :func:`save_state_dict` into ``module``.
 
-    Returns the metadata dictionary stored alongside the parameters (empty if
-    none was stored).
+    Values are cast to the module's own parameter dtype (load-and-cast); the
+    checkpoint's recorded dtype is available in the returned metadata under
+    ``"dtype"`` (absent for pre-policy checkpoints, which were always
+    float64).  Returns the metadata dictionary stored alongside the
+    parameters (empty if none was stored).
     """
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":

@@ -45,6 +45,8 @@ from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .dtype import default_dtype, resolve_dtype
+
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 # Global switch consulted by every op before it records the tape.  Mutated
@@ -123,8 +125,16 @@ class enable_grad(_GradMode):
     _enabled = True
 
 
-def _as_array(value: ArrayLike, dtype=np.float64) -> np.ndarray:
-    """Coerce ``value`` to a float ndarray without copying when possible."""
+def _as_array(value: ArrayLike, dtype=None) -> np.ndarray:
+    """Coerce ``value`` to a float ndarray without copying when possible.
+
+    ``dtype=None`` uses the process-wide policy dtype
+    (:func:`repro.nn.dtype.default_dtype`); passing an explicit dtype pins
+    it — ops use this to lift scalars/arrays to their operand's dtype so a
+    float32 graph never silently promotes to float64.
+    """
+    if dtype is None:
+        dtype = default_dtype()
     if isinstance(value, np.ndarray):
         if value.dtype == dtype:
             return value
@@ -158,6 +168,9 @@ class Tensor:
     ----------
     data:
         The underlying array (copied only if a dtype conversion is required).
+    dtype:
+        Target dtype; ``None`` (default) uses the process-wide policy dtype
+        (see :mod:`repro.nn.dtype`).
     requires_grad:
         Whether gradients should be accumulated for this tensor.
     parents:
@@ -178,8 +191,9 @@ class Tensor:
         parents: Tuple["Tensor", ...] = (),
         backward_fn: Optional[Callable[[np.ndarray], None]] = None,
         name: Optional[str] = None,
+        dtype=None,
     ) -> None:
-        self.data = _as_array(data)
+        self.data = _as_array(data, dtype)
         self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
         self._parents = parents
@@ -214,10 +228,32 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """Return a new tensor sharing data but detached from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
 
     def copy(self) -> "Tensor":
-        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+        return Tensor(
+            self.data.copy(), requires_grad=self.requires_grad, dtype=self.data.dtype
+        )
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (float32 ↔ float64).
+
+        The backward pass casts the upstream gradient back to this tensor's
+        dtype, so a float64-sensitive sub-graph can be spliced into a float32
+        model (or vice versa) without breaking training.  A no-op (returning
+        ``self``) when the dtype already matches.
+        """
+        target = resolve_dtype(dtype)
+        if self.data.dtype == target:
+            return self
+        out_data = self.data.astype(target)
+        if not self._tracked():
+            return Tensor(out_data, dtype=target)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad)
+
+        return self._graph(out_data, (self,), backward)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -235,16 +271,27 @@ class Tensor:
     # Graph construction helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _ensure(value: Union["Tensor", ArrayLike]) -> "Tensor":
+    def _ensure(value: Union["Tensor", ArrayLike], dtype=None) -> "Tensor":
+        """Lift ``value`` to a Tensor.
+
+        ``dtype`` pins the dtype of lifted scalars/arrays (ops pass their own
+        operand's dtype so e.g. ``x * 0.5`` stays in ``x``'s precision);
+        already-Tensor values are returned untouched.
+        """
         if isinstance(value, Tensor):
             return value
-        return Tensor(value)
+        return Tensor(value, dtype=dtype)
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        """Accumulate ``grad`` into ``self.grad`` (creating it on demand)."""
+        """Accumulate ``grad`` into ``self.grad`` (creating it on demand).
+
+        Gradients are kept in the tensor's own dtype (not the policy
+        default), so optimizer state built from them follows the parameter
+        precision even if the policy changes mid-process.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(_as_array(grad), self.data.shape)
+        grad = _unbroadcast(_as_array(grad, self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
@@ -273,7 +320,13 @@ class Tensor:
         backward_fn: Callable[[np.ndarray], None],
     ) -> "Tensor":
         """Wrap ``data`` as a graph node (callers must have checked _tracked)."""
-        return Tensor(data, requires_grad=True, parents=parents, backward_fn=backward_fn)
+        return Tensor(
+            data,
+            requires_grad=True,
+            parents=parents,
+            backward_fn=backward_fn,
+            dtype=data.dtype,
+        )
 
     # ------------------------------------------------------------------ #
     # Backward pass
@@ -328,10 +381,10 @@ class Tensor:
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._ensure(other, self.data.dtype)
         out_data = self.data + other.data
         if not self._tracked(other):
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
@@ -345,7 +398,7 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         out_data = -self.data
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(-grad)
@@ -353,10 +406,10 @@ class Tensor:
         return self._graph(out_data, (self,), backward)
 
     def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._ensure(other, self.data.dtype)
         out_data = self.data - other.data
         if not self._tracked(other):
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad)
@@ -365,13 +418,13 @@ class Tensor:
         return self._graph(out_data, (self, other), backward)
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__sub__(self)
+        return Tensor(other, dtype=self.data.dtype).__sub__(self)
 
     def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._ensure(other, self.data.dtype)
         out_data = self.data * other.data
         if not self._tracked(other):
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * other.data)
@@ -383,10 +436,10 @@ class Tensor:
         return self.__mul__(other)
 
     def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
-        other = self._ensure(other)
+        other = self._ensure(other, self.data.dtype)
         out_data = self.data / other.data
         if not self._tracked(other):
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / other.data)
@@ -395,14 +448,14 @@ class Tensor:
         return self._graph(out_data, (self, other), backward)
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor(other).__truediv__(self)
+        return Tensor(other, dtype=self.data.dtype).__truediv__(self)
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
         out_data = self.data ** exponent
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * exponent * self.data ** (exponent - 1))
@@ -414,10 +467,10 @@ class Tensor:
 
     def matmul(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
         """Batched matrix multiplication with broadcasting over batch dims."""
-        other = self._ensure(other)
+        other = self._ensure(other, self.data.dtype)
         out_data = self.data @ other.data
         if not self._tracked(other):
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             a, b = self.data, other.data
@@ -452,7 +505,7 @@ class Tensor:
     def exp(self) -> "Tensor":
         out_data = np.exp(self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data)
@@ -462,7 +515,7 @@ class Tensor:
     def log(self) -> "Tensor":
         out_data = np.log(self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad / self.data)
@@ -472,17 +525,22 @@ class Tensor:
     def sqrt(self) -> "Tensor":
         out_data = np.sqrt(self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
+
+        # Guard against division by an exactly-zero sqrt; the historical
+        # float64 guard (1e-300) underflows to 0 in float32, so use the
+        # dtype's own smallest normal there instead.
+        guard = 1e-300 if out_data.dtype == np.float64 else np.finfo(out_data.dtype).tiny
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-300))
+            self._accumulate(grad * 0.5 / np.maximum(out_data, guard))
 
         return self._graph(out_data, (self,), backward)
 
     def tanh(self) -> "Tensor":
         out_data = np.tanh(self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * (1.0 - out_data ** 2))
@@ -492,7 +550,7 @@ class Tensor:
     def sigmoid(self) -> "Tensor":
         out_data = 1.0 / (1.0 + np.exp(-self.data))
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * out_data * (1.0 - out_data))
@@ -503,7 +561,7 @@ class Tensor:
         mask = self.data > 0
         out_data = self.data * mask
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * mask)
@@ -514,7 +572,7 @@ class Tensor:
         mask = self.data > 0
         out_data = np.where(mask, self.data, negative_slope * self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.where(mask, 1.0, negative_slope))
@@ -523,13 +581,15 @@ class Tensor:
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation)."""
-        c = np.sqrt(2.0 / np.pi)
+        # A Python float, not np.float64: a NumPy scalar is "strong" under
+        # NEP 50 and would silently promote float32 activations to float64.
+        c = float(np.sqrt(2.0 / np.pi))
         x = self.data
         inner = c * (x + 0.044715 * x ** 3)
         tanh_inner = np.tanh(inner)
         out_data = 0.5 * x * (1.0 + tanh_inner)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             sech2 = 1.0 - tanh_inner ** 2
@@ -542,7 +602,7 @@ class Tensor:
     def abs(self) -> "Tensor":
         out_data = np.abs(self.data)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(grad * np.sign(self.data))
@@ -552,7 +612,7 @@ class Tensor:
     def clip(self, min_value: float, max_value: float) -> "Tensor":
         out_data = np.clip(self.data, min_value, max_value)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
         mask = (self.data >= min_value) & (self.data <= max_value)
 
         def backward(grad: np.ndarray) -> None:
@@ -564,9 +624,14 @@ class Tensor:
     # Reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+        # Accumulate in float64 regardless of the policy dtype (see
+        # repro.nn.dtype): long reductions are where float32 loses digits
+        # fastest.  In float64 mode both arguments are no-ops, so the result
+        # is bit-for-bit what the historical engine produced.
+        out_data = self.data.sum(axis=axis, keepdims=keepdims, dtype=np.float64)
+        out_data = np.asarray(out_data).astype(self.data.dtype, copy=False)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
@@ -596,7 +661,7 @@ class Tensor:
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         out_data = self.data.max(axis=axis, keepdims=keepdims)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
@@ -624,7 +689,7 @@ class Tensor:
             shape = tuple(shape[0])
         out_data = self.data.reshape(shape)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
         original_shape = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
@@ -642,7 +707,7 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         out_data = self.data.transpose(axes)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
         inverse = tuple(np.argsort(axes))
 
         def backward(grad: np.ndarray) -> None:
@@ -653,7 +718,7 @@ class Tensor:
     def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
         out_data = np.swapaxes(self.data, axis1, axis2)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.swapaxes(_as_array(grad), axis1, axis2))
@@ -663,7 +728,7 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         out_data = self.data[index]
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             full = np.zeros_like(self.data)
@@ -675,7 +740,7 @@ class Tensor:
     def expand_dims(self, axis: int) -> "Tensor":
         out_data = np.expand_dims(self.data, axis)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             self._accumulate(np.squeeze(_as_array(grad), axis=axis))
@@ -685,7 +750,7 @@ class Tensor:
     def squeeze(self, axis: Optional[int] = None) -> "Tensor":
         out_data = np.squeeze(self.data, axis=axis)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
         original_shape = self.data.shape
 
         def backward(grad: np.ndarray) -> None:
@@ -699,9 +764,12 @@ class Tensor:
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
         exps = np.exp(shifted)
-        out_data = exps / exps.sum(axis=axis, keepdims=True)
+        # float64 denominator (an accumulation exception, see repro.nn.dtype);
+        # bit-identical in float64 mode.
+        denom = exps.sum(axis=axis, keepdims=True, dtype=np.float64)
+        out_data = (exps / denom).astype(self.data.dtype, copy=False)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
 
         def backward(grad: np.ndarray) -> None:
             grad_arr = _as_array(grad)
@@ -712,10 +780,12 @@ class Tensor:
 
     def log_softmax(self, axis: int = -1) -> "Tensor":
         shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-        out_data = shifted - log_sum
+        # float64 denominator (an accumulation exception, see repro.nn.dtype);
+        # bit-identical in float64 mode.
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True, dtype=np.float64))
+        out_data = (shifted - log_sum).astype(self.data.dtype, copy=False)
         if not self._tracked():
-            return Tensor(out_data)
+            return Tensor(out_data, dtype=out_data.dtype)
         softmax_vals = np.exp(out_data)
 
         def backward(grad: np.ndarray) -> None:
@@ -729,19 +799,26 @@ class Tensor:
     # Factory helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
     @staticmethod
-    def ones(shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
     @staticmethod
     def randn(
-        shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False
+        shape,
+        rng: Optional[np.random.Generator] = None,
+        requires_grad: bool = False,
+        dtype=None,
     ) -> "Tensor":
+        # Always draw in float64 and cast: the stream of random values is
+        # identical across policy dtypes (float32 parameters are the rounded
+        # float64 ones), which is what the cross-precision parity tests rely on.
         rng = rng or np.random.default_rng()
-        return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+        draw = rng.standard_normal(shape)
+        return Tensor(draw, requires_grad=requires_grad, dtype=resolve_dtype(dtype))
 
 
 def _any_tracked(tensors: Sequence[Tensor]) -> bool:
@@ -754,7 +831,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.concatenate([t.data for t in tensors], axis=axis)
     if not _any_tracked(tensors):
-        return Tensor(out_data)
+        return Tensor(out_data, dtype=out_data.dtype)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -765,7 +842,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             slicer[axis] = slice(start, end)
             tensor._accumulate(grad_arr[tuple(slicer)])
 
-    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward, dtype=out_data.dtype)
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
@@ -773,14 +850,14 @@ def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     tensors = [Tensor._ensure(t) for t in tensors]
     out_data = np.stack([t.data for t in tensors], axis=axis)
     if not _any_tracked(tensors):
-        return Tensor(out_data)
+        return Tensor(out_data, dtype=out_data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         grad_arr = _as_array(grad)
         for i, tensor in enumerate(tensors):
             tensor._accumulate(np.take(grad_arr, i, axis=axis))
 
-    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward)
+    return Tensor(out_data, requires_grad=True, parents=tuple(tensors), backward_fn=backward, dtype=out_data.dtype)
 
 
 def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
@@ -812,7 +889,7 @@ def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
         return tensor
     out_data = np.pad(tensor.data, widths)
     if not _any_tracked((tensor,)):
-        return Tensor(out_data)
+        return Tensor(out_data, dtype=out_data.dtype)
     region = tuple(
         slice(before, before + size)
         for (before, _), size in zip(widths, tensor.data.shape)
@@ -821,7 +898,7 @@ def pad(tensor: Tensor, pad_width: Sequence[Tuple[int, int]]) -> Tensor:
     def backward(grad: np.ndarray) -> None:
         tensor._accumulate(_as_array(grad)[region])
 
-    return Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward)
+    return Tensor(out_data, requires_grad=True, parents=(tensor,), backward_fn=backward, dtype=out_data.dtype)
 
 
 def pad_stack(tensors: Sequence[Tensor]) -> Tuple[Tensor, np.ndarray]:
@@ -862,17 +939,22 @@ def pad_stack(tensors: Sequence[Tensor]) -> Tuple[Tensor, np.ndarray]:
 
 
 def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
-    """Differentiable element selection: ``condition ? a : b``."""
+    """Differentiable element selection: ``condition ? a : b``.
+
+    A non-Tensor ``b`` (typically a scalar fill value, see
+    :func:`repro.nn.masked_keep`) is lifted to ``a``'s dtype so masking never
+    promotes a float32 graph to float64.
+    """
     a = Tensor._ensure(a)
-    b = Tensor._ensure(b)
+    b = Tensor._ensure(b, a.data.dtype)
     cond = np.asarray(condition, dtype=bool)
     out_data = np.where(cond, a.data, b.data)
     if not _any_tracked((a, b)):
-        return Tensor(out_data)
+        return Tensor(out_data, dtype=out_data.dtype)
 
     def backward(grad: np.ndarray) -> None:
         grad_arr = _as_array(grad)
         a._accumulate(np.where(cond, grad_arr, 0.0))
         b._accumulate(np.where(cond, 0.0, grad_arr))
 
-    return Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward)
+    return Tensor(out_data, requires_grad=True, parents=(a, b), backward_fn=backward, dtype=out_data.dtype)

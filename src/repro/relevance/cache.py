@@ -85,7 +85,26 @@ class RelevanceCache:
         signature: Tuple,
     ) -> Tuple:
         """Cache key for one ``Rel(D, T)`` evaluation."""
-        return (data_fingerprint(data), table_fingerprint(table), max_points, signature)
+        return self.key_from_fingerprints(
+            data_fingerprint(data), table_fingerprint(table), max_points, signature
+        )
+
+    @staticmethod
+    def key_from_fingerprints(
+        data_fp: Tuple,
+        table_fp: Tuple,
+        max_points: int,
+        signature: Tuple,
+    ) -> Tuple:
+        """Cache key from precomputed fingerprints.
+
+        Batch callers (e.g. the warm probe of
+        :func:`repro.fcm.training.relevance_matrix`) hash each data series
+        and table once — O(E+T) — and combine the fingerprints per pair,
+        instead of re-hashing the same arrays O(E*T) times through
+        :meth:`key`.
+        """
+        return (data_fp, table_fp, max_points, signature)
 
     def get(self, key: Tuple) -> Optional[float]:
         value = self._store.get(key)

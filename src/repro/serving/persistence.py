@@ -9,8 +9,13 @@ mean of the representations over the segment axis and recomputing them on
 load is bit-identical to what was cached.
 
 The format is versioned; loading checks the model's embedding dimension
-against the snapshot so a service cannot silently serve encodings produced
-by an incompatible model.
+*and numeric precision* against the snapshot so a service cannot silently
+serve encodings produced by an incompatible model.  Unlike model
+checkpoints (which load-and-cast, see :mod:`repro.nn.serialization`), a
+dtype-mismatched snapshot is an **error**: cached encodings, LSH codes and
+rankings were all produced under the recorded precision, and silently
+casting them would serve scores the live model cannot reproduce.
+Pre-policy snapshots carry no dtype field and are treated as float64.
 """
 
 from __future__ import annotations
@@ -59,6 +64,7 @@ def save_processor(processor: HybridQueryProcessor, path: PathLike) -> Path:
     meta = {
         "version": SNAPSHOT_VERSION,
         "embed_dim": scorer.config.embed_dim,
+        "dtype": scorer.config.numeric_dtype.name,
         "lsh": {
             "num_bits": processor.lsh_config.num_bits,
             "hamming_radius": processor.lsh_config.hamming_radius,
@@ -111,11 +117,22 @@ def load_processor(
             f"snapshot was built with embed_dim={meta['embed_dim']}, "
             f"the model has embed_dim={model.config.embed_dim}"
         )
+    snapshot_dtype = meta.get("dtype", "float64")  # pre-policy snapshots
+    model_dtype = model.config.numeric_dtype.name
+    if snapshot_dtype != model_dtype:
+        raise ValueError(
+            f"snapshot was built under dtype={snapshot_dtype}, the model runs "
+            f"{model_dtype}; cached encodings cannot be cast without changing "
+            f"scores — rebuild the index under {model_dtype} (or load with a "
+            f"{snapshot_dtype} model, e.g. REPRO_DTYPE={snapshot_dtype})"
+        )
 
     scorer = scorer or FCMScorer(model)
     lsh_config = LSHConfig(**meta["lsh"])
     processor = HybridQueryProcessor(scorer, lsh_config=lsh_config)
-    lsh = RandomHyperplaneLSH(model.config.embed_dim, config=lsh_config)
+    lsh = RandomHyperplaneLSH(
+        model.config.embed_dim, config=lsh_config, dtype=model.config.numeric_dtype
+    )
     for position, table_meta in enumerate(meta["tables"]):
         representations = arrays[f"rep_{position}"]
         encoded = EncodedTable(

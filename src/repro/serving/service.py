@@ -71,6 +71,13 @@ class ServingConfig:
     build_timeout:
         Optional wall-clock guard (seconds) for a sharded build; on expiry
         the build falls back to the in-process encode.
+    dtype:
+        Expected numeric precision of the served model (``"float32"`` /
+        ``"float64"``); ``None`` accepts whatever the model was built with.
+        When set, :class:`SearchService` refuses a model of a different
+        precision at construction — a deployment guard so a float64 service
+        cannot silently restart on float32 weights (snapshots are
+        additionally self-validating, see :mod:`repro.serving.persistence`).
     """
 
     lsh_config: Optional[LSHConfig] = None
@@ -78,12 +85,17 @@ class ServingConfig:
     num_workers: int = 1
     num_query_shards: int = 1
     build_timeout: Optional[float] = None
+    dtype: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.result_cache_size < 0:
             raise ValueError("result_cache_size must be >= 0")
         if self.num_query_shards < 1:
             raise ValueError("num_query_shards must be >= 1")
+        if self.dtype is not None:
+            from ..nn import resolve_dtype
+
+            self.dtype = resolve_dtype(self.dtype).name
 
 
 @dataclass
@@ -139,15 +151,24 @@ class SearchService:
         extractor: Optional[VisualElementExtractor] = None,
     ) -> None:
         self.config = config or ServingConfig()
+        model_dtype = model.config.numeric_dtype.name
+        if self.config.dtype is not None and self.config.dtype != model_dtype:
+            raise ValueError(
+                f"ServingConfig expects a {self.config.dtype} model, got "
+                f"{model_dtype}; construct the model under the matching "
+                f"precision policy (e.g. REPRO_DTYPE={self.config.dtype})"
+            )
         self.scorer = FCMScorer(model, extractor=extractor)
         self.processor = HybridQueryProcessor(
             self.scorer, lsh_config=self.config.lsh_config
         )
         self.stats = ServiceStats()
         self.last_shard_report: Optional[ShardBuildReport] = None
-        # (id(chart), k, strategy) -> (chart ref, QueryResult); holding the
-        # chart keeps the id stable (same idiom as FCMScorer.prepare_query).
-        self._result_cache: "OrderedDict[Tuple[int, int, str], Tuple[LineChart, QueryResult]]" = (
+        # (chart content hash, k, strategy) -> QueryResult (same content-hash
+        # idiom as FCMScorer.prepare_query): equal charts from different
+        # objects share entries, and mutating a chart in place changes its
+        # key, so a stale result can never be served.
+        self._result_cache: "OrderedDict[Tuple[str, int, str], QueryResult]" = (
             OrderedDict()
         )
 
@@ -227,16 +248,17 @@ class SearchService:
     ) -> QueryResult:
         """Top-``k`` search with result caching and per-strategy statistics.
 
-        Repeated queries for the same chart object (unmutated index) are
-        served from an LRU cache; any :meth:`add_tables` /
-        :meth:`remove_tables` / :meth:`build` call invalidates it.
+        Repeated queries for the same chart *content* (unmutated index) are
+        served from an LRU cache — a re-rendered but pixel-identical chart
+        hits the same entry; any :meth:`add_tables` / :meth:`remove_tables`
+        / :meth:`build` call invalidates the cache.
         """
-        key = (id(chart), int(k), strategy)
+        key = (chart.fingerprint(), int(k), strategy)
         hit = self._result_cache.get(key)
-        if hit is not None and hit[0] is chart:
+        if hit is not None:
             self._result_cache.move_to_end(key)
             self.stats.per_strategy[strategy].cache_hits += 1
-            return hit[1]
+            return hit
 
         result = self.processor.query(
             chart, k, strategy=strategy, num_verify_shards=self.config.num_query_shards
@@ -248,7 +270,7 @@ class SearchService:
         stats.total_candidates += result.candidates
 
         if self.config.result_cache_size > 0:
-            self._result_cache[key] = (chart, result)
+            self._result_cache[key] = result
             while len(self._result_cache) > self.config.result_cache_size:
                 self._result_cache.popitem(last=False)
         return result

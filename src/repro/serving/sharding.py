@@ -14,6 +14,13 @@ process boundary a single time rather than once per task.  Any failure to
 spin up or drive the pool — unpicklable platform quirks, a missing ``fork``
 start method, a task timeout — degrades gracefully to the in-process encode
 and is reported on the returned :class:`ShardBuildReport` instead of raised.
+
+Precision: the parent model pins its resolved dtype onto ``FCMConfig.dtype``
+at construction, and that config is what crosses the process boundary — so
+workers rehydrate under the parent's precision regardless of their own
+``REPRO_DTYPE`` environment or policy state, and the merged
+:class:`~repro.fcm.scorer.EncodedTable` payloads carry the same dtype the
+single-process build would have produced.
 """
 
 from __future__ import annotations

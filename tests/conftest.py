@@ -10,6 +10,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.nn import default_dtype
+
 from repro.charts import ChartSpec, render_chart_for_table
 from repro.data import (
     Column,
@@ -20,6 +22,21 @@ from repro.data import (
 )
 from repro.fcm import FCMConfig
 from repro.vision import VisualElementExtractor
+
+
+def active_dtype() -> np.dtype:
+    """The precision policy the suite is running under (see REPRO_DTYPE)."""
+    return np.dtype(default_dtype())
+
+
+def dtype_tol(float64_tol: float, float32_tol: float) -> float:
+    """Pick an equivalence tolerance for the active precision policy.
+
+    The suite runs under both policies in CI: float64 keeps the historical
+    tight bounds (the engine is bit-for-bit unchanged there), float32 uses
+    the loosened bound appropriate for ~1e-7 machine epsilon.
+    """
+    return float32_tol if active_dtype() == np.float32 else float64_tol
 
 
 @pytest.fixture(scope="session")

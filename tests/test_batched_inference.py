@@ -29,6 +29,8 @@ from repro.fcm.preprocessing import prepare_table_input
 from repro.fcm.scorer import FCMScorer, pad_candidate_batch
 from repro.nn import Tensor, enable_grad, is_grad_enabled, no_grad
 
+from conftest import dtype_tol
+
 
 def _tiny_config(**overrides) -> FCMConfig:
     base = dict(
@@ -172,7 +174,7 @@ class TestBatchedEquivalence:
         batched = scorer.score_chart_batch(query_chart)
         assert set(loop) == set(batched)
         for table_id, score in loop.items():
-            assert batched[table_id] == pytest.approx(score, abs=1e-8)
+            assert batched[table_id] == pytest.approx(score, abs=dtype_tol(1e-8, 5e-5))
 
     @pytest.mark.parametrize("subset_size", [1, 3, 7])
     def test_candidate_subsets_match(self, scorer, query_chart, subset_size):
@@ -180,7 +182,7 @@ class TestBatchedEquivalence:
         loop = scorer.score_chart(query_chart, table_ids=ids)
         batched = scorer.score_chart_batch(query_chart, table_ids=ids)
         for table_id in ids:
-            assert batched[table_id] == pytest.approx(loop[table_id], abs=1e-8)
+            assert batched[table_id] == pytest.approx(loop[table_id], abs=dtype_tol(1e-8, 5e-5))
 
     def test_rankings_identical(self, scorer, query_chart):
         loop_rank = sorted(
@@ -195,7 +197,7 @@ class TestBatchedEquivalence:
         full = scorer.score_chart_batch(query_chart, batch_size=None)
         chunked = scorer.score_chart_batch(query_chart, batch_size=3)
         for table_id, score in full.items():
-            assert chunked[table_id] == pytest.approx(score, abs=1e-8)
+            assert chunked[table_id] == pytest.approx(score, abs=dtype_tol(1e-8, 5e-5))
 
     def test_empty_candidate_set(self, scorer, query_chart):
         assert scorer.score_chart_batch(query_chart, table_ids=[]) == {}
@@ -217,7 +219,7 @@ class TestBatchedEquivalence:
                 got = model.match_batch(
                     chart, Tensor(batch), segment_mask, column_mask
                 ).numpy()
-            np.testing.assert_allclose(got, expected, atol=1e-8)
+            np.testing.assert_allclose(got, expected, atol=dtype_tol(1e-8, 5e-5))
 
     def test_pad_candidate_batch_masks(self):
         reps = [np.ones((2, 3, 4)), np.ones((1, 2, 4))]
@@ -252,7 +254,7 @@ class TestBatchedPerf:
         batch_scores = scorer.score_chart_batch(chart)
         assert max(
             abs(loop_scores[tid] - batch_scores[tid]) for tid in loop_scores
-        ) < 1e-8
+        ) < dtype_tol(1e-8, 5e-5)
 
         def best_of(fn, repeats=3):
             timings = []

@@ -1,0 +1,353 @@
+"""Tests for the configurable-precision numeric core (``repro.nn.dtype``).
+
+Covers the policy mechanics (default / set / scoped override / env
+variable), dtype stability of the engine (no silent promotion, float64
+accumulation in reductions), parameter + optimizer state precision,
+checkpoint and snapshot dtype round trips, and the float32-vs-float64
+ranking-parity contract on a quickstart-sized corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.charts import render_chart_for_table
+from repro.data import CorpusConfig, filter_line_chart_records, generate_corpus
+from repro.fcm import FCMConfig, FCMModel, FCMScorer
+from repro.index import HybridQueryProcessor
+from repro.nn import (
+    Adam,
+    Linear,
+    Parameter,
+    Sequential,
+    Tensor,
+    default_dtype,
+    load_state_dict,
+    resolve_dtype,
+    save_state_dict,
+    set_default_dtype,
+    using_dtype,
+)
+from repro.serving import SearchService, ServingConfig, save_processor, load_processor
+
+
+TINY = dict(
+    embed_dim=16, num_heads=2, num_layers=1, data_segment_size=32, beta=2,
+    max_data_segments=4,
+)
+
+
+@pytest.fixture()
+def quickstart_tables(small_records):
+    return [record.table for record in small_records]
+
+
+@pytest.fixture()
+def query_chart(small_records):
+    record = small_records[0]
+    return render_chart_for_table(
+        record.table, list(record.spec.y_columns), x_column=record.spec.x_column
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Policy mechanics
+# --------------------------------------------------------------------------- #
+class TestPolicyMechanics:
+    def test_resolve_rejects_unsupported(self):
+        with pytest.raises(ValueError):
+            resolve_dtype(np.float16)
+        with pytest.raises(ValueError):
+            resolve_dtype("int64")
+        assert resolve_dtype("float32") == np.float32
+        assert resolve_dtype(np.float64) == np.float64
+
+    def test_set_default_returns_previous_and_using_restores(self):
+        before = default_dtype()
+        previous = set_default_dtype("float32")
+        try:
+            assert previous == before
+            assert default_dtype() == np.float32
+        finally:
+            set_default_dtype(previous)
+        with using_dtype("float32"):
+            assert default_dtype() == np.float32
+            with using_dtype("float64"):
+                assert default_dtype() == np.float64
+            assert default_dtype() == np.float32
+        assert default_dtype() == before
+
+    def test_env_override_sets_process_default(self):
+        env = dict(os.environ, REPRO_DTYPE="float32")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.nn; print(repro.nn.default_dtype())"],
+            capture_output=True, text=True, env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        )
+        assert out.returncode == 0, out.stderr
+        assert out.stdout.strip() == "float32"
+
+    def test_invalid_env_override_raises(self):
+        env = dict(os.environ, REPRO_DTYPE="float16")
+        env["PYTHONPATH"] = "src"
+        out = subprocess.run(
+            [sys.executable, "-c", "import repro.nn"],
+            capture_output=True, text=True, env=env, cwd=os.path.dirname(os.path.dirname(__file__)),
+        )
+        assert out.returncode != 0
+        assert "REPRO_DTYPE" in out.stderr
+
+
+# --------------------------------------------------------------------------- #
+# Engine dtype stability
+# --------------------------------------------------------------------------- #
+class TestEngineDtype:
+    def test_tensor_creation_follows_policy(self):
+        with using_dtype("float32"):
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+            assert Tensor.zeros((2, 2)).dtype == np.float32
+            assert Tensor.ones((2,)).dtype == np.float32
+            assert Tensor.randn((3,)).dtype == np.float32
+        assert Tensor([1.0]).dtype == default_dtype()
+
+    def test_ops_do_not_promote_float32(self):
+        with using_dtype("float32"):
+            x = Tensor.randn((4, 4), rng=np.random.default_rng(0), requires_grad=True)
+            y = ((x * 2.0 + 1.0) / 3.0 - 0.5).gelu().tanh().sigmoid()
+            z = (y @ y).softmax(axis=-1).log_softmax(axis=-1)
+            s = (z.sum() + z.mean() + z.var()).abs().sqrt()
+            assert y.dtype == np.float32
+            assert z.dtype == np.float32
+            assert s.dtype == np.float32
+            s.backward()
+            assert x.grad.dtype == np.float32
+
+    def test_scalar_lifting_follows_operand_not_policy(self):
+        # A float32 graph stays float32 even when the ambient policy is
+        # float64 (per-model precision support).
+        x = Tensor(np.ones(3, dtype=np.float32), dtype=np.float32)
+        assert (x * 2.0).dtype == np.float32
+        assert (1.0 - x).dtype == np.float32
+        assert (x + np.ones(3)).dtype == np.float32  # array operand lifted too
+
+    def test_randn_value_stream_identical_across_dtypes(self):
+        draw64 = Tensor.randn((8,), rng=np.random.default_rng(7), dtype="float64")
+        draw32 = Tensor.randn((8,), rng=np.random.default_rng(7), dtype="float32")
+        np.testing.assert_array_equal(
+            draw64.numpy().astype(np.float32), draw32.numpy()
+        )
+
+    def test_sum_accumulates_in_float64(self):
+        # Implementation contract: reductions use a float64 accumulator and
+        # round once at the end, so the float32 sum equals the rounded
+        # float64 sum (a naive float32 running sum generally does not).
+        values = (np.arange(100_000) % 7).astype(np.float32) * 0.1
+        expected = np.float32(values.sum(dtype=np.float64))
+        got = Tensor(values, dtype=np.float32).sum().numpy()
+        assert got.dtype == np.float32
+        assert got == expected
+
+    def test_astype_is_differentiable(self):
+        x = Tensor(np.ones(4, dtype=np.float64), requires_grad=True, dtype="float64")
+        y = x.astype("float32") * 2.0
+        assert y.dtype == np.float32
+        y.sum().backward()
+        assert x.grad.dtype == np.float64
+        np.testing.assert_allclose(x.grad, np.full(4, 2.0))
+        assert x.astype("float64") is x  # matching cast is a no-op
+
+
+# --------------------------------------------------------------------------- #
+# Parameters, optimizer state, checkpoints
+# --------------------------------------------------------------------------- #
+class TestParameterAndOptimizerDtype:
+    def test_parameters_and_adam_state_follow_policy(self):
+        with using_dtype("float32"):
+            model = Sequential(Linear(4, 4), Linear(4, 2))
+            assert model.dtype == np.float32
+            optimizer = Adam(model.parameters(), lr=1e-3)
+            x = Tensor.randn((3, 4), rng=np.random.default_rng(0))
+            loss = (model(x) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            for param, m, v in zip(optimizer.parameters, optimizer._m, optimizer._v):
+                assert param.data.dtype == np.float32
+                assert param.grad.dtype == np.float32
+                assert m.dtype == np.float32 and v.dtype == np.float32
+
+    def test_parameter_nbytes_halves_under_float32(self):
+        with using_dtype("float64"):
+            wide = Sequential(Linear(32, 32))
+        with using_dtype("float32"):
+            narrow = Sequential(Linear(32, 32))
+        assert wide.parameter_nbytes() == 2 * narrow.parameter_nbytes()
+
+    def test_to_dtype_casts_in_place(self):
+        with using_dtype("float64"):
+            model = Sequential(Linear(4, 4))
+        model.to_dtype("float32")
+        assert model.dtype == np.float32
+
+    def test_checkpoint_roundtrip_same_dtype_float32(self, tmp_path):
+        with using_dtype("float32"):
+            model = Sequential(Linear(4, 4))
+            path = save_state_dict(model, tmp_path / "f32.npz")
+            clone = Sequential(Linear(4, 4))
+            metadata = load_state_dict(clone, path)
+        assert metadata["dtype"] == "float32"
+        for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+            assert b.data.dtype == np.float32
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_checkpoint_float64_loads_and_casts_into_float32(self, tmp_path):
+        with using_dtype("float64"):
+            source = Sequential(Linear(4, 4))
+            path = save_state_dict(source, tmp_path / "f64.npz")
+        with using_dtype("float32"):
+            target = Sequential(Linear(4, 4))
+        metadata = load_state_dict(target, path)
+        assert metadata["dtype"] == "float64"
+        assert target.dtype == np.float32
+        for (_, a), (_, b) in zip(source.named_parameters(), target.named_parameters()):
+            np.testing.assert_array_equal(a.data.astype(np.float32), b.data)
+
+    def test_checkpoint_reserved_metadata_key_rejected(self, tmp_path):
+        model = Sequential(Linear(2, 2))
+        with pytest.raises(ValueError):
+            save_state_dict(model, tmp_path / "bad.npz", metadata={"dtype": "x"})
+
+
+# --------------------------------------------------------------------------- #
+# FCM model pinning + index/serving dtype threading
+# --------------------------------------------------------------------------- #
+class TestModelDtypePinning:
+    def test_model_pins_policy_dtype_onto_config(self):
+        with using_dtype("float32"):
+            model = FCMModel(FCMConfig(**TINY))
+        assert model.config.dtype == "float32"
+        assert model.dtype == np.float32
+        # Pinned: the model keeps its precision when the policy changes.
+        assert model.config.numeric_dtype == np.float32
+
+    def test_explicit_config_dtype_wins_over_policy(self):
+        model = FCMModel(FCMConfig(dtype="float32", **TINY))
+        assert model.dtype == np.float32
+        assert model.config.dtype == "float32"
+
+    def test_pinned_float32_model_computes_float32_under_float64_policy(
+        self, quickstart_tables, query_chart
+    ):
+        # Regression: encoder-internal Tensor() wraps used to re-lift inputs
+        # to the ambient policy dtype, silently overriding the pinned config
+        # dtype (activations and cached encodings came out float64).
+        with using_dtype("float64"):  # deliberately mismatched ambient
+            model = FCMModel(FCMConfig(dtype="float32", **TINY))
+            scorer = FCMScorer(model)
+            scorer.index_repository(quickstart_tables[:3])
+            encoded = scorer.encoded_table(quickstart_tables[0].table_id)
+            assert encoded.representations.dtype == np.float32
+            assert encoded.column_embeddings.dtype == np.float32
+            with model.inference():
+                chart_repr = model.encode_chart(scorer.prepare_query(query_chart))
+            assert chart_repr.dtype == np.float32
+            scores = scorer.score_chart_batch(query_chart)
+            assert all(np.isfinite(score) for score in scores.values())
+
+    def test_config_rejects_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            FCMConfig(dtype="float16", **TINY)
+
+    def test_float32_threads_through_scorer_index_and_lsh(
+        self, quickstart_tables, query_chart
+    ):
+        with using_dtype("float32"):
+            model = FCMModel(FCMConfig(**TINY))
+            scorer = FCMScorer(model)
+            processor = HybridQueryProcessor(scorer)
+            processor.index_repository(quickstart_tables)
+            encoded = scorer.encoded_table(quickstart_tables[0].table_id)
+            assert encoded.representations.dtype == np.float32
+            assert encoded.column_embeddings.dtype == np.float32
+            assert processor.lsh._hyperplanes.dtype == np.float32
+            assert scorer.prepare_query(query_chart).segment_features.dtype == np.float32
+            result = processor.query(query_chart, k=3)
+            assert all(np.isfinite(score) for _, score in result.ranking)
+
+    def test_serving_config_dtype_guard(self):
+        with using_dtype("float32"):
+            f32_model = FCMModel(FCMConfig(**TINY))
+        with pytest.raises(ValueError, match="float64"):
+            SearchService(f32_model, ServingConfig(dtype="float64"))
+        service = SearchService(f32_model, ServingConfig(dtype="float32"))
+        assert service.model.dtype == np.float32
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot dtype round trips (serving persistence)
+# --------------------------------------------------------------------------- #
+class TestSnapshotDtype:
+    def _built_processor(self, dtype, tables):
+        with using_dtype(dtype):
+            model = FCMModel(FCMConfig(**TINY))
+            processor = HybridQueryProcessor(FCMScorer(model))
+            processor.index_repository(tables)
+        return model, processor
+
+    def test_snapshot_roundtrip_float32(self, tmp_path, quickstart_tables, query_chart):
+        model, processor = self._built_processor("float32", quickstart_tables[:6])
+        reference = processor.query(query_chart, k=3).ranking
+        path = save_processor(processor, tmp_path / "f32_index.npz")
+        with using_dtype("float32"):
+            restored = load_processor(model, path)
+        encoded = restored.scorer.encoded_table(quickstart_tables[0].table_id)
+        assert encoded.representations.dtype == np.float32
+        restored_ranking = restored.query(query_chart, k=3).ranking
+        assert [t for t, _ in restored_ranking] == [t for t, _ in reference]
+        for (_, a), (_, b) in zip(reference, restored_ranking):
+            assert a == pytest.approx(b, abs=1e-6)
+
+    def test_snapshot_dtype_mismatch_is_a_clear_error(
+        self, tmp_path, quickstart_tables
+    ):
+        _, processor = self._built_processor("float64", quickstart_tables[:4])
+        path = save_processor(processor, tmp_path / "f64_index.npz")
+        with using_dtype("float32"):
+            f32_model = FCMModel(FCMConfig(**TINY))
+        with pytest.raises(ValueError, match="dtype=float64"):
+            load_processor(f32_model, path)
+
+
+# --------------------------------------------------------------------------- #
+# Cross-precision ranking parity (the float32 acceptance contract)
+# --------------------------------------------------------------------------- #
+class TestRankingParity:
+    def test_float32_reproduces_float64_topk_on_quickstart_corpus(
+        self, quickstart_tables, query_chart
+    ):
+        rankings = {}
+        for dtype in ("float64", "float32"):
+            with using_dtype(dtype):
+                model = FCMModel(FCMConfig(**TINY))
+                scorer = FCMScorer(model)
+                scorer.index_repository(quickstart_tables)
+                scores = scorer.score_chart_batch(query_chart)
+            rankings[dtype] = sorted(
+                scores.items(), key=lambda item: item[1], reverse=True
+            )
+        scores64 = dict(rankings["float64"])
+        scores32 = dict(rankings["float32"])
+        assert set(scores64) == set(scores32)
+        # Scores agree far beyond ranking resolution (measured ~2e-7)...
+        max_diff = max(abs(scores64[t] - scores32[t]) for t in scores64)
+        assert max_diff < 1e-4
+        # ...and the top-k (k=5) lists agree except for near-ties.
+        top64 = [t for t, _ in rankings["float64"][:5]]
+        top32 = [t for t, _ in rankings["float32"][:5]]
+        for a, b in zip(top64, top32):
+            assert a == b or abs(scores64[a] - scores64[b]) < 1e-4
+        assert set(top64) == set(top32)

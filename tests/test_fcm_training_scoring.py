@@ -20,6 +20,7 @@ from repro.fcm import (
 )
 from repro.fcm.sampling import batch_indices
 from repro.nn import save_state_dict, load_state_dict
+from repro.relevance import clear_relevance_cache, relevance_cache_info
 
 
 class TestNegativeSampling:
@@ -85,6 +86,55 @@ class TestTrainingData:
         for i, example in enumerate(data.examples):
             j = order.index(example.table_id)
             assert matrix[i, j] == pytest.approx(matrix[i].max(), rel=1e-6)
+
+    def test_parallel_relevance_matrix_identical_to_serial(
+        self, small_records, tiny_fcm_config
+    ):
+        """The multi-process cold pass returns the exact serial matrix."""
+        data = build_training_data(
+            small_records[:5], tiny_fcm_config, aggregated_fraction=0.0, seed=0
+        )
+        clear_relevance_cache()
+        serial, serial_order = relevance_matrix(data.examples, data.tables, max_points=24)
+        clear_relevance_cache()
+        parallel, parallel_order = relevance_matrix(
+            data.examples, data.tables, max_points=24, num_workers=2
+        )
+        assert parallel_order == serial_order
+        np.testing.assert_array_equal(parallel, serial)
+        # The parallel pass back-fills the parent memo, so a warm
+        # recomputation (cross-strategy reuse) is a pure cache hit — even a
+        # warm *parallel* call is served from the memo without a pool.
+        info_before = relevance_cache_info()
+        warm, _ = relevance_matrix(data.examples, data.tables, max_points=24)
+        np.testing.assert_array_equal(warm, serial)
+        assert relevance_cache_info().hits >= info_before.hits + serial.size
+        warm_parallel, _ = relevance_matrix(
+            data.examples, data.tables, max_points=24, num_workers=2
+        )
+        np.testing.assert_array_equal(warm_parallel, serial)
+
+    def test_parallel_relevance_matrix_falls_back_in_process(
+        self, small_records, tiny_fcm_config, monkeypatch
+    ):
+        """A broken pool degrades to the serial pass instead of failing."""
+        import repro.fcm.training as training_module
+
+        data = build_training_data(
+            small_records[:3], tiny_fcm_config, aggregated_fraction=0.0, seed=0
+        )
+        expected, expected_order = relevance_matrix(data.examples, data.tables, max_points=24)
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes for you")
+
+        monkeypatch.setattr(training_module, "ProcessPoolExecutor", broken_pool)
+        clear_relevance_cache()  # cold: force the (broken) pool path
+        matrix, order = relevance_matrix(
+            data.examples, data.tables, max_points=24, num_workers=4
+        )
+        assert order == expected_order
+        np.testing.assert_array_equal(matrix, expected)
 
 
 @pytest.mark.slow

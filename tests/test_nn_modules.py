@@ -29,11 +29,14 @@ from repro.nn import (
     binary_cross_entropy,
     contrastive_cosine_loss,
     cross_entropy,
+    default_dtype,
     load_state_dict,
     mse_loss,
     save_state_dict,
     scaled_dot_product_attention,
 )
+
+from conftest import dtype_tol
 
 
 class TestModuleMechanics:
@@ -142,7 +145,9 @@ class TestAttention:
         v = Tensor(rng.standard_normal((6, 8)))
         out, weights = scaled_dot_product_attention(q, k, v)
         assert out.shape == (4, 8)
-        np.testing.assert_allclose(weights.numpy().sum(axis=-1), np.ones(4), atol=1e-9)
+        np.testing.assert_allclose(
+            weights.numpy().sum(axis=-1), np.ones(4), atol=dtype_tol(1e-9, 1e-6)
+        )
 
     def test_attention_mask(self):
         q = Tensor(np.ones((2, 4)))
@@ -307,6 +312,7 @@ class TestSerialization:
         path = save_state_dict(model, tmp_path / "model.npz", metadata={"epochs": 3})
         clone = Sequential(Linear(4, 4), LayerNorm(4))
         metadata = load_state_dict(clone, path)
-        assert metadata == {"epochs": 3}
+        # Checkpoints always record the parameter dtype alongside metadata.
+        assert metadata == {"epochs": 3, "dtype": np.dtype(default_dtype()).name}
         x = Tensor(np.random.default_rng(0).standard_normal((2, 4)))
         np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import Tensor, concatenate, stack, where
+from repro.nn import Tensor, concatenate, stack, using_dtype, where
 
 
 def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
@@ -27,18 +27,25 @@ def numerical_gradient(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
 
 
 def check_gradient(build_fn, shape, seed=0, atol=1e-4):
-    """Compare autograd and numerical gradients for a scalar expression."""
-    rng = np.random.default_rng(seed)
-    x = rng.standard_normal(shape)
-    tensor = Tensor(x.copy(), requires_grad=True)
-    out = build_fn(tensor)
-    out.backward()
+    """Compare autograd and numerical gradients for a scalar expression.
 
-    def scalar_fn(values):
-        return build_fn(Tensor(values)).item()
+    Central differences with eps=1e-6 are meaningless at float32 resolution,
+    so the check always runs under the float64 policy — the backward-pass
+    *formulas* it validates are dtype-independent (float32-specific behaviour
+    is covered by tests/test_dtype_policy.py).
+    """
+    with using_dtype(np.float64):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape)
+        tensor = Tensor(x.copy(), requires_grad=True)
+        out = build_fn(tensor)
+        out.backward()
 
-    numeric = numerical_gradient(scalar_fn, x.copy())
-    np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-3)
+        def scalar_fn(values):
+            return build_fn(Tensor(values)).item()
+
+        numeric = numerical_gradient(scalar_fn, x.copy())
+        np.testing.assert_allclose(tensor.grad, numeric, atol=atol, rtol=1e-3)
 
 
 class TestBasicOps:
