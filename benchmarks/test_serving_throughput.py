@@ -1,6 +1,6 @@
-"""Serving-layer throughput: incremental adds, warm queries, sharded builds.
+"""Serving-layer throughput: adds, warm queries, sharded builds, workers, snapshots.
 
-Three costs of running the hybrid index as a *service* rather than the
+Five costs of running the hybrid index as a *service* rather than the
 paper's one-shot batch build (Table VIII measures only the latter):
 
 * **incremental add vs. full rebuild** — appending a handful of tables to a
@@ -9,17 +9,26 @@ paper's one-shot batch build (Table VIII measures only the latter):
 * **cold vs. warm query latency** — the LRU result cache on repeated
   queries;
 * **single-process vs. sharded build** — fanning table encoding out across
-  worker processes (only wins on multi-core hosts; the worker count and CPU
-  count are recorded alongside the numbers).
+  worker processes;
+* **worker-pool vs. in-process query verification** — routing candidate
+  scoring through the persistent process pool
+  (``ServingConfig(query_workers=N)``), with a ranking-parity check;
+* **append-only snapshot vs. full rewrite** — persisting a 1-table delta as
+  a segment against rewriting the whole ``.npz`` archive.
+
+The multi-process numbers (sharded build, worker pool) only *win* on
+multi-core hosts; ``os.cpu_count()`` and a ``single_cpu`` flag are recorded
+in the JSON — and a caveat string attached to those sections — so a 1-CPU
+container run is never misread as a multi-core result.
 
 Results land in ``BENCH_serving.json`` at the repository root (the serving
 perf trajectory) and ``benchmarks/results/serving_throughput.txt``.  An
 *untrained* model is used throughout: every measured path is
 weight-independent, and skipping training keeps the target minutes-free.
 
-Speed assertions (incremental faster than rebuild, warm faster than cold)
-are skipped under ``REPRO_SKIP_PERF_TESTS=1``; the numbers are recorded
-either way.
+Speed assertions (incremental faster than rebuild, warm faster than cold,
+append cheaper than rewrite) are skipped under ``REPRO_SKIP_PERF_TESTS=1``;
+the numbers are recorded either way.
 """
 
 from __future__ import annotations
@@ -27,6 +36,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -36,7 +46,7 @@ from repro.charts import render_chart_for_table
 from repro.data import CorpusConfig, filter_line_chart_records, generate_corpus
 from repro.fcm import FCMConfig, FCMModel
 from repro.index import LSHConfig
-from repro.serving import SearchService, ServingConfig
+from repro.serving import SearchService, ServingConfig, snapshot_segments
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_serving.json"
@@ -77,6 +87,9 @@ def test_serving_throughput(record_result):
         )
     )
     tables = [record.table for record in records]
+    # Hold one table out of every build: the snapshot section appends it as
+    # a 1-table delta against a base that has never seen it.
+    tables, held_out = tables[:-1], tables[-1]
     # The default (32-dim, 2-layer) configuration: large enough that encode
     # time dominates process-pool overhead, so the sharded numbers mean
     # something on multi-core hosts.
@@ -135,6 +148,11 @@ def test_serving_throughput(record_result):
     # 4. Sharded multi-process build
     # ------------------------------------------------------------------ #
     num_cpus = multiprocessing.cpu_count()
+    single_cpu = (os.cpu_count() or 1) <= 1
+    multicore_caveat = (
+        "recorded on a 1-CPU host: process-level numbers measure overhead "
+        "only, not a parallel speed-up"
+    )
     num_workers = max(2, min(4, num_cpus))
     start = time.perf_counter()
     sharded_service = _build_service(FCMModel(config), tables, num_workers=num_workers)
@@ -144,17 +162,77 @@ def test_serving_throughput(record_result):
     c = sharded_service.query(probe, k=5)
     assert [t for t, _ in c.ranking] == [t for t, _ in b.ranking]
 
+    # ------------------------------------------------------------------ #
+    # 5. Worker-pool query verification vs. in-process
+    # ------------------------------------------------------------------ #
+    pooled_service = SearchService(
+        FCMModel(config),
+        ServingConfig(
+            lsh_config=LSHConfig(num_bits=10, hamming_radius=1),
+            query_workers=num_workers,
+            worker_timeout=SHARD_TIMEOUT_SECONDS,
+        ),
+    )
+    pooled_service.build(tables)
+    pooled = []
+    for chart in charts:
+        start = time.perf_counter()
+        pooled_result = pooled_service.query(chart, k=10)
+        pooled.append(time.perf_counter() - start)
+        # Parity: the pool must rank exactly like the in-process service.
+        reference = full_service.query(chart, k=10)
+        assert [t for t, _ in pooled_result.ranking] == [
+            t for t, _ in reference.ranking
+        ]
+        assert (
+            max(
+                abs(x - y)
+                for (_, x), (_, y) in zip(pooled_result.ranking, reference.ranking)
+            )
+            < 1e-8
+        )
+    pooled_mean = float(np.mean(pooled))
+    pool_used = (
+        pooled_service.worker_fallback_reason is None
+        and pooled_service.stats.worker_queries == len(charts)
+    )
+    pooled_service.close()
+
+    # ------------------------------------------------------------------ #
+    # 6. Append-only snapshot segment vs. full rewrite
+    # ------------------------------------------------------------------ #
+    with tempfile.TemporaryDirectory() as tmp:
+        base_path = Path(tmp) / "bench_index.npz"
+        start = time.perf_counter()
+        full_service.save_index(base_path)
+        full_save_seconds = time.perf_counter() - start
+
+        full_service.add_tables([held_out])  # the 1-table delta
+        start = time.perf_counter()
+        segment_path = full_service.save_index(base_path, append=True)
+        append_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        full_service.save_index(Path(tmp) / "bench_rewrite.npz")
+        rewrite_seconds = time.perf_counter() - start
+
+        assert snapshot_segments(base_path) == [Path(segment_path)]
+        base_bytes = base_path.stat().st_size
+        segment_bytes = Path(segment_path).stat().st_size
+
     results = {
         "benchmark": "serving_throughput",
         "scale": scale["name"],
         "num_tables": len(tables),
         "num_cpus": num_cpus,
+        "os_cpu_count": os.cpu_count(),
+        "single_cpu": single_cpu,
         "build": {
             "single_process_seconds": full_build_seconds,
             "sharded_seconds": sharded_build_seconds,
             "sharded_num_workers": num_workers,
             "sharded_used_processes": sharded_used_processes,
             "sharded_speedup": full_build_seconds / sharded_build_seconds,
+            "caveat": multicore_caveat if single_cpu else None,
         },
         "incremental": {
             "tables_added": num_added,
@@ -168,11 +246,32 @@ def test_serving_throughput(record_result):
             "warm_seconds_mean": warm_mean,
             "warm_speedup": cold_mean / warm_mean if warm_mean > 0 else float("inf"),
         },
+        "worker_pool": {
+            "query_workers": num_workers,
+            "used_processes": pool_used,
+            "fallback_reason": pooled_service.worker_fallback_reason,
+            "pooled_cold_seconds_mean": pooled_mean,
+            "in_process_cold_seconds_mean": cold_mean,
+            "speedup_vs_in_process": cold_mean / pooled_mean if pooled_mean else 0.0,
+            "caveat": multicore_caveat if single_cpu else None,
+        },
+        "snapshot": {
+            "num_tables_in_base": len(tables),
+            "full_save_seconds": full_save_seconds,
+            "append_one_table_seconds": append_seconds,
+            "full_rewrite_seconds": rewrite_seconds,
+            "append_speedup_vs_rewrite": rewrite_seconds / append_seconds
+            if append_seconds
+            else float("inf"),
+            "base_bytes": base_bytes,
+            "segment_bytes": segment_bytes,
+        },
     }
     BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
 
     lines = [
-        f"Serving throughput ({scale['name']} scale, {len(tables)} tables, {num_cpus} CPU)",
+        f"Serving throughput ({scale['name']} scale, {len(tables)} tables, "
+        f"{num_cpus} CPU{' — single-CPU host' if single_cpu else ''})",
         f"  full build (1 process):      {full_build_seconds:8.3f}s",
         f"  sharded build ({num_workers} workers):   {sharded_build_seconds:8.3f}s"
         f"  ({results['build']['sharded_speedup']:.2f}x"
@@ -181,8 +280,16 @@ def test_serving_throughput(record_result):
         f"  ({results['incremental']['speedup_vs_rebuild']:.1f}x vs rebuild)",
         f"  query cold / warm:           {cold_mean * 1e3:8.2f}ms / {warm_mean * 1e3:.3f}ms"
         f"  ({results['query']['warm_speedup']:.0f}x)",
+        f"  worker-pool query ({num_workers} proc): {pooled_mean * 1e3:8.2f}ms"
+        f"  ({'pool' if pool_used else 'in-process fallback'})",
+        f"  snapshot append / rewrite:   {append_seconds * 1e3:8.2f}ms / "
+        f"{rewrite_seconds * 1e3:.2f}ms"
+        f"  ({results['snapshot']['append_speedup_vs_rewrite']:.1f}x, "
+        f"segment {segment_bytes / 1024:.0f} KiB vs base {base_bytes / 1024:.0f} KiB)",
         f"  -> {BENCH_JSON.name}",
     ]
+    if single_cpu:
+        lines.insert(1, f"  NOTE: {multicore_caveat}")
     record_result("serving_throughput", "\n".join(lines))
 
     if not _skip_perf_assertions():
@@ -190,6 +297,10 @@ def test_serving_throughput(record_result):
         assert incremental_add_seconds < full_build_seconds, results["incremental"]
         # A cache hit must beat re-verifying candidates with the matcher.
         assert warm_mean < cold_mean, results["query"]
+        # A 1-table delta must beat rewriting the whole archive.
+        assert append_seconds < rewrite_seconds, results["snapshot"]
         if num_cpus > 1 and sharded_used_processes:
             # Only assert a win where one is physically possible.
             assert sharded_build_seconds < full_build_seconds, results["build"]
+        if num_cpus > 1 and pool_used:
+            assert pooled_mean < cold_mean, results["worker_pool"]

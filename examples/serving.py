@@ -5,12 +5,15 @@ batch build, this example runs it as a *service* (``repro.serving``):
 
 1. train a small FCM and build a :class:`SearchService` over a repository,
    fanning table encoding across worker processes when CPUs allow;
-2. serve queries — the second hit of the same chart comes from the LRU
-   result cache;
+2. serve queries — candidate verification runs on a persistent process-level
+   worker pool (``query_workers``), and the second hit of the same chart
+   comes from the LRU result cache;
 3. mutate the live index: add newly arrived tables, retire old ones —
-   no rebuild, results identical to one;
-4. snapshot the index to disk and restart from it without re-encoding a
-   single table.
+   no rebuild, results identical to one (the worker pool receives only the
+   diff);
+4. snapshot the index to disk, append the post-mutation delta as an
+   append-only segment (O(delta), not O(index)), compact, and restart from
+   it without re-encoding a single table.
 
 Run with::
 
@@ -56,7 +59,8 @@ def main() -> None:
     service = SearchService(
         model,
         ServingConfig(lsh_config=LSHConfig(num_bits=10, hamming_radius=1),
-                      num_workers=workers, build_timeout=300.0),
+                      num_workers=workers, build_timeout=300.0,
+                      query_workers=max(2, workers), worker_timeout=300.0),
     )
     start = time.perf_counter()
     service.build([r.table for r in initial])
@@ -79,40 +83,58 @@ def main() -> None:
     )
     cold = service.query(chart, k=5)
     warm = service.query(chart, k=5)
-    print(f"   cold {cold.seconds * 1e3:.1f}ms over {cold.candidates} candidates; "
-          f"warm query served from cache "
+    verify_mode = (
+        f"worker pool ({service.config.query_workers} processes)"
+        if service.stats.worker_queries
+        else f"in-process ({service.worker_fallback_reason or 'pool not used'})"
+    )
+    print(f"   cold {cold.seconds * 1e3:.1f}ms over {cold.candidates} candidates "
+          f"via {verify_mode}; warm query served from cache "
           f"(hits={service.stats.per_strategy['hybrid'].cache_hits})")
     print(f"   top-3: {[table_id for table_id, _ in cold.ranking[:3]]}")
 
-    print("== 4. Mutating the live index ==")
+    print("== 4. Snapshot the running index ==")
+    tmp_dir = tempfile.TemporaryDirectory()
+    snapshot = service.save_index(Path(tmp_dir.name) / "index.npz")
+    base_kb = Path(snapshot).stat().st_size / 1024
+    print(f"   base snapshot {base_kb:.0f} KiB ({service.num_tables} tables)")
+
+    print("== 5. Mutating the live index ==")
     service.add_tables([r.table for r in arriving])
     retired = [initial[1].table.table_id, initial[2].table.table_id]
     service.remove_tables(retired)
     after = service.query(chart, k=5)
     print(f"   +{len(arriving)} tables, -{len(retired)} tables -> "
           f"{service.num_tables} live, result cache invalidated "
-          f"({after.candidates} candidates now)")
+          f"({after.candidates} candidates now); worker pool synced the diff")
 
-    print("== 5. Snapshot + restart without re-encoding ==")
-    with tempfile.TemporaryDirectory() as tmp:
-        path = service.save_index(Path(tmp) / "index.npz")
-        size_kb = Path(path).stat().st_size / 1024
+    print("== 6. Append-only snapshot delta + restart without re-encoding ==")
+    with tmp_dir:
+        segment = service.save_index(snapshot, append=True)
+        seg_kb = Path(segment).stat().st_size / 1024
+        print(f"   delta segment {Path(segment).name}: {seg_kb:.1f} KiB "
+              f"(vs {base_kb:.0f} KiB base — O(delta), the base was not rewritten)")
+        compacted = SearchService.compact_snapshot(snapshot)
         start = time.perf_counter()
-        restarted = SearchService.load_index(model, path)
+        restarted = SearchService.load_index(model, compacted)
         load_seconds = time.perf_counter() - start
         again = restarted.query(chart, k=5)
         assert [t for t, _ in again.ranking] == [t for t, _ in after.ranking], (
             "restarted service must rank identically"
         )
-        print(f"   snapshot {size_kb:.0f} KiB; restored {restarted.num_tables} tables "
+        print(f"   compacted + restored {restarted.num_tables} tables "
               f"in {load_seconds * 1e3:.0f}ms; rankings identical")
 
-    print("== 6. Service statistics ==")
+    service.close()  # release the query worker pool
+
+    print("== 7. Service statistics ==")
     for strategy, stats in service.stats.summary().items():
         print(f"   {strategy:<8s} queries={stats['queries']} "
               f"cache_hits={stats['cache_hits']} "
               f"mean={stats['mean_seconds'] * 1e3:.1f}ms "
               f"candidates~{stats['mean_candidates']:.0f}")
+    print(f"   worker-pool queries={service.stats.worker_queries} "
+          f"fallbacks={service.stats.worker_fallbacks}")
 
 
 if __name__ == "__main__":

@@ -350,6 +350,31 @@ class FCMScorer:
         """
         chart_input = self.prepare_query(chart)
         ids = list(table_ids) if table_ids is not None else self.indexed_table_ids
+        return self.score_encoded_batch(chart_input, ids, batch_size=batch_size)
+
+    def score_encoded_batch(
+        self,
+        chart_input: ChartInput,
+        table_ids: Sequence[str],
+        batch_size: Optional[int] = 256,
+    ) -> Dict[str, float]:
+        """Score a *prepared* query against a shard of cached table encodings.
+
+        The shard-local entry point of the process-parallel query engine
+        (:mod:`repro.serving.workers`): the parent process extracts visual
+        elements and preprocesses the chart **once** (:meth:`prepare_query`),
+        then ships the resulting :class:`~repro.fcm.preprocessing.ChartInput`
+        to each worker together with that worker's shard of candidate table
+        ids.  Because the chart input, the cached encodings and the model
+        weights are all identical to the parent's, the scores are identical
+        to the single-process :meth:`score_chart_batch` path.
+
+        Every listed table id must already be in the encoding cache
+        (:meth:`index_repository` / :meth:`add_encoded`); unknown ids raise
+        ``KeyError``.  ``batch_size`` bounds candidates per stacked matcher
+        forward exactly as in :meth:`score_chart_batch`.
+        """
+        ids = list(table_ids)
         if not ids:
             return {}
         scores: Dict[str, float] = {}

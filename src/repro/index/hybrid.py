@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -245,6 +245,7 @@ class HybridQueryProcessor:
         k: int,
         strategy: str = "hybrid",
         num_verify_shards: int = 1,
+        verifier: Optional[Callable[..., Optional[Dict[str, float]]]] = None,
     ) -> QueryResult:
         """Run one top-``k`` query under the chosen indexing strategy.
 
@@ -252,6 +253,15 @@ class HybridQueryProcessor:
         many stacked matcher forwards instead of one, bounding the padded
         batch size on very large repositories; scores (hence rankings) are
         unchanged — only the batch composition per forward differs.
+
+        ``verifier`` optionally replaces the in-process verification stage:
+        it is called as ``verifier(chart_input, ordered_ids, num_shards)``
+        and must return ``{table_id: score}`` covering every candidate — or
+        ``None`` to decline, in which case verification runs in-process as
+        usual.  This is the hook the serving layer routes its process-level
+        :class:`~repro.serving.workers.QueryWorkerPool` through (returning
+        ``None`` on any pool failure, so a query is never lost to a dead
+        worker).
         """
         start = time.perf_counter()
         candidate_ids = self.candidates(chart, strategy)
@@ -263,17 +273,22 @@ class HybridQueryProcessor:
         # forward per shard scores every surviving candidate.
         ordered = sorted(candidate_ids)
         num_shards = max(1, min(int(num_verify_shards), len(ordered) or 1))
-        if num_shards == 1:
-            scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
-        else:
-            shard_size = -(-len(ordered) // num_shards)  # ceil division
-            scores = {}
-            for shard_start in range(0, len(ordered), shard_size):
-                scores.update(
-                    self.scorer.score_chart_batch(
-                        chart, table_ids=ordered[shard_start : shard_start + shard_size]
+        scores: Optional[Dict[str, float]] = None
+        if verifier is not None:
+            scores = verifier(self.scorer.prepare_query(chart), ordered, num_shards)
+        if scores is None:
+            if num_shards == 1:
+                scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
+            else:
+                shard_size = -(-len(ordered) // num_shards)  # ceil division
+                scores = {}
+                for shard_start in range(0, len(ordered), shard_size):
+                    scores.update(
+                        self.scorer.score_chart_batch(
+                            chart,
+                            table_ids=ordered[shard_start : shard_start + shard_size],
+                        )
                     )
-                )
         ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:k]
         elapsed = time.perf_counter() - start
         return QueryResult(

@@ -201,6 +201,15 @@ class IntervalTree:
         live.extend(self._pending)
         return live
 
+    def intervals_for_tables(self, table_ids: Iterable[str]) -> List[Interval]:
+        """The live intervals belonging to the given table ids.
+
+        Used by the append-only snapshot writer (``repro.serving.persistence``)
+        to persist only a delta's intervals instead of the whole tree.
+        """
+        wanted = set(table_ids)
+        return [iv for iv in self.intervals if iv.table_id in wanted]
+
     # ------------------------------------------------------------------ #
     # Queries
     # ------------------------------------------------------------------ #

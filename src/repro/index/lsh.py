@@ -146,6 +146,15 @@ class RandomHyperplaneLSH:
         """Per-table sorted code lists (for persistence round trips)."""
         return {table_id: sorted(codes) for table_id, codes in self._codes.items()}
 
+    def codes_for(self, table_id: str) -> List[int]:
+        """The sorted codes of one table (``[]`` if it is not indexed).
+
+        The per-table counterpart of :meth:`export_codes`: the append-only
+        snapshot writer uses it to persist only a delta's codes instead of
+        exporting the whole index.
+        """
+        return sorted(self._codes.get(table_id, ()))
+
     @property
     def buckets(self) -> Dict[int, Set[str]]:
         """A copy of the bucket contents (for parity checks and diagnostics)."""

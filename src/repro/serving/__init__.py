@@ -1,26 +1,53 @@
-"""``repro.serving`` — incremental, sharded, persistent index serving.
+"""``repro.serving`` — incremental, sharded, persistent, multi-process serving.
 
 The serving layer keeps the hybrid interval-tree + LSH index alive as a
 long-running service instead of a one-shot batch build: in-place
 add/remove of tables, multi-process sharded encoding at build time,
-``.npz`` snapshots that survive restarts, an LRU result cache and
-per-strategy query statistics.  See :class:`SearchService` for the facade
-and ``docs/ARCHITECTURE.md`` ("Serving") for how it sits on the layers.
+process-level parallel query verification (:mod:`repro.serving.workers`),
+append-only ``.npz`` snapshots that survive restarts in O(delta)
+(:mod:`repro.serving.persistence`), an LRU result cache and per-strategy
+query statistics.  See :class:`SearchService` for the facade,
+``docs/ARCHITECTURE.md`` ("Serving") for how it sits on the layers and
+``docs/SERVING_OPS.md`` for the operator's guide.
 """
 
-from .persistence import SNAPSHOT_VERSION, load_processor, save_processor
+from .persistence import (
+    SNAPSHOT_VERSION,
+    compact_snapshot,
+    load_processor,
+    save_processor,
+    snapshot_segments,
+)
 from .service import SearchService, ServiceStats, ServingConfig, StrategyStats
-from .sharding import ShardBuildReport, encode_tables_sharded, shard_tables
+from .sharding import (
+    ShardBuildReport,
+    build_worker_scorer,
+    encode_tables_sharded,
+    shard_tables,
+)
+from .workers import (
+    QueryWorkerPool,
+    WorkerPoolError,
+    WorkerPoolStats,
+    split_shards,
+)
 
 __all__ = [
     "SNAPSHOT_VERSION",
+    "QueryWorkerPool",
     "SearchService",
     "ServiceStats",
     "ServingConfig",
     "ShardBuildReport",
     "StrategyStats",
+    "WorkerPoolError",
+    "WorkerPoolStats",
+    "build_worker_scorer",
+    "compact_snapshot",
     "encode_tables_sharded",
     "load_processor",
     "save_processor",
     "shard_tables",
+    "snapshot_segments",
+    "split_shards",
 ]

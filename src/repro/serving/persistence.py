@@ -1,6 +1,7 @@
 """Index snapshots: save/load everything a restarted service needs.
 
-A snapshot is a single ``.npz`` archive holding, per indexed table, the
+A snapshot is a **base** ``.npz`` archive, optionally followed by numbered
+**append-only segments** next to it.  The base holds, per indexed table, the
 cached dataset-encoder representations (the expensive part — the reason a
 restart should not re-encode anything), plus a JSON ``__meta__`` entry with
 the column names/ranges, the LSH configuration and per-table codes, and the
@@ -8,21 +9,46 @@ interval-tree intervals.  Column embeddings are *not* stored: they are the
 mean of the representations over the segment axis and recomputing them on
 load is bit-identical to what was cached.
 
+Append-only segments
+--------------------
+``save_processor(processor, path, append=True)`` does **not** rewrite the
+base: it reads only the ``__meta__`` entries of the base and any existing
+segments (lazy ``.npz`` access — the representation arrays stay on disk),
+diffs the recorded table set against the live processor, and writes just the
+delta — new encodings, LSH codes and intervals for added tables, plus a
+``tombstones`` list for removed ones — as ``<base>.seg-0001.npz``,
+``<base>.seg-0002.npz``, … next to the base.  Snapshotting after an
+incremental ``add_tables`` therefore costs O(delta), not O(index); an empty
+delta writes nothing.  :func:`load_processor` replays segments in order
+(tombstones first, then additions), so a restart — or a query worker picking
+the snapshot up — sees exactly the state the last append recorded.
+:func:`compact_snapshot` folds base + segments back into a single base
+archive and deletes the segments (replay is idempotent, so a crash between
+the rewrite and the deletes cannot corrupt the snapshot).  A *full*
+``save_processor`` to a path that has segments deletes them: the new base
+supersedes the whole lineage.
+
 The format is versioned; loading checks the model's embedding dimension
 *and numeric precision* against the snapshot so a service cannot silently
 serve encodings produced by an incompatible model.  Unlike model
 checkpoints (which load-and-cast, see :mod:`repro.nn.serialization`), a
 dtype-mismatched snapshot is an **error**: cached encodings, LSH codes and
 rankings were all produced under the recorded precision, and silently
-casting them would serve scores the live model cannot reproduce.
+casting them would serve scores the live model cannot reproduce.  The same
+rule holds *within* a snapshot lineage — appending a segment under a
+different precision than the base (or loading such a mix) is rejected.
 Pre-policy snapshots carry no dtype field and are treated as float64.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import re
+from collections import OrderedDict
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,20 +62,137 @@ PathLike = Union[str, Path]
 
 SNAPSHOT_VERSION = 1
 
+#: Segment file name pattern: ``<base stem>.seg-<number>.npz`` next to the base.
+_SEGMENT_SUFFIX = ".seg-{number:04d}.npz"
+_SEGMENT_RE = re.compile(r"\.seg-(\d+)\.npz$")
 
-def save_processor(processor: HybridQueryProcessor, path: PathLike) -> Path:
-    """Snapshot a built :class:`HybridQueryProcessor` to ``path`` (``.npz``).
 
-    Saves the cached encodings of every indexed table, the live interval-tree
-    intervals and the LSH codes + configuration.  Model weights are *not*
-    included — persist those separately with
-    :func:`repro.nn.serialization.save_state_dict`.
+# --------------------------------------------------------------------------- #
+# Archive plumbing
+# --------------------------------------------------------------------------- #
+def _resolve_snapshot_path(path: PathLike) -> Path:
+    """Resolve ``path`` to the on-disk archive (``np.savez`` appends .npz)."""
+    path = Path(path)
+    if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def _write_archive(path: Path, meta: dict, arrays: Dict[str, np.ndarray]) -> Path:
+    """Write an archive atomically (write a sibling temp file, then rename).
+
+    A crash mid-write can therefore never leave a truncated base or segment
+    behind — the target either keeps its previous content or holds the
+    complete new archive.
     """
+    arrays = dict(arrays)
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    if path.suffix != ".npz":  # np.savez appends .npz when missing
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez(tmp, **arrays)
+    os.replace(tmp, path)
+    return path
+
+
+def _read_meta(path: Path) -> dict:
+    """Only the JSON ``__meta__`` entry (the arrays stay on disk)."""
+    with np.load(path) as archive:
+        return json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+
+
+def _read_archive(path: Path) -> Tuple[dict, Dict[str, np.ndarray]]:
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+    return meta, arrays
+
+
+def _check_version(meta: dict, path: Path) -> None:
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise ValueError(
+            f"unsupported snapshot version {meta.get('version')!r} in {path.name} "
+            f"(expected {SNAPSHOT_VERSION})"
+        )
+
+
+def _check_segment(meta: dict, base_meta: dict, path: Path) -> None:
+    _check_version(meta, path)
+    if meta.get("kind") != "segment":
+        raise ValueError(f"{path.name} is not a snapshot segment")
+    if meta.get("embed_dim") != base_meta.get("embed_dim"):
+        raise ValueError(
+            f"segment {path.name} was built with embed_dim={meta.get('embed_dim')}, "
+            f"the base snapshot has embed_dim={base_meta.get('embed_dim')}"
+        )
+    base_dtype = base_meta.get("dtype", "float64")
+    segment_dtype = meta.get("dtype", "float64")
+    if segment_dtype != base_dtype:
+        raise ValueError(
+            f"segment {path.name} was written under dtype={segment_dtype}, the "
+            f"base snapshot records dtype={base_dtype}; a snapshot lineage must "
+            f"be single-precision — rebuild or re-append under {base_dtype}"
+        )
+    if meta.get("lsh") is not None and meta["lsh"] != base_meta.get("lsh"):
+        raise ValueError(
+            f"segment {path.name} records LSH configuration {meta['lsh']}, the "
+            f"base snapshot records {base_meta.get('lsh')}; codes hashed under "
+            f"different hyperplanes cannot be mixed — write a fresh base"
+        )
+
+
+def snapshot_segments(path: PathLike) -> List[Path]:
+    """The append-only segments of a snapshot, in replay order.
+
+    Segments live next to the base as ``<base stem>.seg-<number>.npz`` and
+    are replayed in ascending number; a base with no segments returns ``[]``.
+    """
+    base = _resolve_snapshot_path(path)
+    numbered = []
+    for candidate in base.parent.glob(base.stem + ".seg-*.npz"):
+        match = _SEGMENT_RE.search(candidate.name)
+        if match and candidate.name == base.stem + match.group(0):
+            numbered.append((int(match.group(1)), candidate))
+    return [segment for _, segment in sorted(numbered)]
+
+
+# --------------------------------------------------------------------------- #
+# Payload helpers
+# --------------------------------------------------------------------------- #
+def _fingerprint(representations: np.ndarray) -> str:
+    """Content hash of one table's cached encoding (shape + dtype + bytes).
+
+    Recorded per table in the snapshot metadata so an append can detect a
+    table that was removed and re-added *with different content* under the
+    same id — an id-level diff alone would call that an empty delta and
+    silently keep the stale encoding.
+    """
+    digest = hashlib.sha1()
+    digest.update(str(representations.shape).encode())
+    digest.update(str(representations.dtype).encode())
+    digest.update(np.ascontiguousarray(representations).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def _lsh_payload(processor: HybridQueryProcessor) -> dict:
+    return {
+        "num_bits": processor.lsh_config.num_bits,
+        "hamming_radius": processor.lsh_config.hamming_radius,
+        "seed": processor.lsh_config.seed,
+    }
+
+
+def _tables_payload(
+    processor: HybridQueryProcessor, table_ids: Sequence[str]
+) -> Tuple[List[dict], Dict[str, np.ndarray]]:
+    """Per-table meta entries + ``rep_<i>`` arrays for the given ids."""
     scorer = processor.scorer
-    table_ids = processor.table_ids
-    tables_meta = []
-    arrays = {}
-    lsh_codes = processor.lsh.export_codes() if processor.lsh is not None else {}
+    lsh = processor.lsh
+    tables_meta: List[dict] = []
+    arrays: Dict[str, np.ndarray] = {}
     for position, table_id in enumerate(table_ids):
         encoded = scorer.encoded_table(table_id)
         arrays[f"rep_{position}"] = encoded.representations
@@ -57,36 +200,242 @@ def save_processor(processor: HybridQueryProcessor, path: PathLike) -> Path:
             {
                 "table_id": table_id,
                 "column_names": list(encoded.column_names),
-                "column_ranges": [[float(lo), float(hi)] for lo, hi in encoded.column_ranges],
-                "codes": [int(code) for code in lsh_codes.get(table_id, [])],
+                "column_ranges": [
+                    [float(lo), float(hi)] for lo, hi in encoded.column_ranges
+                ],
+                "codes": [int(code) for code in (lsh.codes_for(table_id) if lsh else [])],
+                "fingerprint": _fingerprint(encoded.representations),
             }
         )
+    return tables_meta, arrays
+
+
+def _interval_payload(intervals: Sequence[Interval]) -> List[list]:
+    return [
+        [float(iv.low), float(iv.high), iv.table_id, iv.column_name]
+        for iv in intervals
+    ]
+
+
+def _replay_tables(
+    base_meta: dict, segment_metas: Sequence[dict]
+) -> "OrderedDict[str, Optional[str]]":
+    """Live ``table_id -> content fingerprint`` after replaying the segments.
+
+    Fingerprints are ``None`` for entries written before fingerprints were
+    recorded (those cannot be content-diffed and are treated as unchanged).
+    """
+    live: "OrderedDict[str, Optional[str]]" = OrderedDict()
+    for entry in base_meta["tables"]:
+        live[entry["table_id"]] = entry.get("fingerprint")
+    for meta in segment_metas:
+        for table_id in meta.get("tombstones", ()):
+            live.pop(table_id, None)
+        for entry in meta["tables"]:
+            live.pop(entry["table_id"], None)
+            live[entry["table_id"]] = entry.get("fingerprint")
+    return live
+
+
+def _merged_snapshot(
+    path: PathLike,
+) -> Tuple[Path, dict, "OrderedDict[str, Tuple[dict, np.ndarray]]", List[list]]:
+    """Replay base + segments into one in-memory state (for load/compaction)."""
+    base = _resolve_snapshot_path(path)
+    base_meta, base_arrays = _read_archive(base)
+    _check_version(base_meta, base)
+    tables: "OrderedDict[str, Tuple[dict, np.ndarray]]" = OrderedDict()
+    for position, entry in enumerate(base_meta["tables"]):
+        tables[entry["table_id"]] = (entry, base_arrays[f"rep_{position}"])
+    intervals: List[list] = [list(iv) for iv in base_meta["intervals"]]
+    for segment in snapshot_segments(base):
+        meta, arrays = _read_archive(segment)
+        _check_segment(meta, base_meta, segment)
+        dropped = set(meta.get("tombstones", ()))
+        dropped.update(entry["table_id"] for entry in meta["tables"])
+        if dropped:
+            # Tombstones kill a table outright; re-added ids shed their stale
+            # copy so replay stays idempotent (compaction crash safety).
+            for table_id in dropped:
+                tables.pop(table_id, None)
+            intervals = [iv for iv in intervals if iv[2] not in dropped]
+        for position, entry in enumerate(meta["tables"]):
+            tables[entry["table_id"]] = (entry, arrays[f"rep_{position}"])
+        intervals.extend(list(iv) for iv in meta["intervals"])
+    return base, base_meta, tables, intervals
+
+
+# --------------------------------------------------------------------------- #
+# Save: full base or append-only segment
+# --------------------------------------------------------------------------- #
+def save_processor(
+    processor: HybridQueryProcessor, path: PathLike, append: bool = False
+) -> Path:
+    """Snapshot a built :class:`HybridQueryProcessor` to ``path`` (``.npz``).
+
+    With ``append=False`` (the default) this writes a full **base** archive:
+    the cached encodings of every indexed table, the live interval-tree
+    intervals and the LSH codes + configuration — and deletes any
+    append-only segments a previous snapshot at this path accumulated (the
+    fresh base supersedes them).  Model weights are *not* included — persist
+    those separately with :func:`repro.nn.serialization.save_state_dict`.
+
+    With ``append=True`` only the **delta** against the existing base (plus
+    any earlier segments) is written, as a numbered segment file next to the
+    base — new tables' encodings/codes/intervals and a tombstone list for
+    removed ones.  The cost is O(delta): the base's representation arrays
+    are neither read nor rewritten.  Returns the path written — the segment
+    file, or the base path unchanged when the delta is empty (nothing is
+    written).  Raises ``ValueError`` if no base exists at ``path`` or if the
+    processor's precision/embedding dimension does not match it.
+    """
+    if append:
+        return _append_segment(processor, path)
+    table_ids = processor.table_ids
+    tables_meta, arrays = _tables_payload(processor, table_ids)
     meta = {
         "version": SNAPSHOT_VERSION,
-        "embed_dim": scorer.config.embed_dim,
-        "dtype": scorer.config.numeric_dtype.name,
-        "lsh": {
-            "num_bits": processor.lsh_config.num_bits,
-            "hamming_radius": processor.lsh_config.hamming_radius,
-            "seed": processor.lsh_config.seed,
-        },
+        "embed_dim": processor.scorer.config.embed_dim,
+        "dtype": processor.scorer.config.numeric_dtype.name,
+        "lsh": _lsh_payload(processor),
         "tables": tables_meta,
-        "intervals": [
-            [float(iv.low), float(iv.high), iv.table_id, iv.column_name]
-            for iv in processor.interval_tree.intervals
-        ],
+        "intervals": _interval_payload(processor.interval_tree.intervals),
     }
-    arrays["__meta__"] = np.frombuffer(
-        json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    # Retire a previous lineage's segments *before* replacing the base:
+    # deleting newest-first keeps every intermediate crash state a
+    # consistent (if stale) snapshot, whereas stale segments next to the
+    # new base would replay over it and resurrect removed tables.
+    for stale_segment in reversed(snapshot_segments(Path(path))):
+        stale_segment.unlink()
+    return _write_archive(Path(path), meta, arrays)
+
+
+def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
+    base = _resolve_snapshot_path(path)
+    if not base.exists():
+        raise ValueError(
+            f"append=True needs an existing base snapshot at {base}; write one "
+            f"first with save_processor(..., append=False)"
+        )
+    base_meta = _read_meta(base)
+    _check_version(base_meta, base)
+    config = processor.scorer.config
+    if base_meta["embed_dim"] != config.embed_dim:
+        raise ValueError(
+            f"snapshot was built with embed_dim={base_meta['embed_dim']}, "
+            f"the processor has embed_dim={config.embed_dim}"
+        )
+    base_dtype = base_meta.get("dtype", "float64")
+    live_dtype = config.numeric_dtype.name
+    if base_dtype != live_dtype:
+        raise ValueError(
+            f"cannot append a {live_dtype} segment to a snapshot recorded under "
+            f"dtype={base_dtype}; a snapshot lineage must be single-precision — "
+            f"write a fresh base under {live_dtype} instead"
+        )
+    live_lsh = _lsh_payload(processor)
+    if base_meta.get("lsh") != live_lsh:
+        raise ValueError(
+            f"cannot append to a snapshot recorded under LSH configuration "
+            f"{base_meta.get('lsh')} from a processor configured with "
+            f"{live_lsh}; codes hashed under different hyperplanes cannot be "
+            f"mixed — write a fresh base instead"
+        )
+
+    segments = snapshot_segments(base)
+    segment_metas = [_read_meta(segment) for segment in segments]
+    for segment, meta in zip(segments, segment_metas):
+        _check_segment(meta, base_meta, segment)
+    covered = _replay_tables(base_meta, segment_metas)
+    current = processor.table_ids
+    current_set = set(current)
+    # Content-aware delta: an id present on both sides whose recorded
+    # fingerprint no longer matches the live encoding (removed + re-added
+    # with different content) is rewritten — tombstone plus re-add in the
+    # same segment.  The comparison hashes the live encodings (fast,
+    # memory-bandwidth-bound); the recorded arrays are never read.
+    changed = {
+        table_id
+        for table_id in current
+        if covered.get(table_id) is not None
+        and _fingerprint(
+            processor.scorer.encoded_table(table_id).representations
+        )
+        != covered[table_id]
+    }
+    new_ids = [
+        table_id
+        for table_id in current
+        if table_id not in covered or table_id in changed
+    ]
+    tombstones = [
+        table_id
+        for table_id in covered
+        if table_id not in current_set or table_id in changed
+    ]
+    if not new_ids and not tombstones:
+        return base  # empty delta: the snapshot already records this state
+
+    numbers = [int(_SEGMENT_RE.search(s.name).group(1)) for s in segments]
+    next_number = (max(numbers) + 1) if numbers else 1
+    tables_meta, arrays = _tables_payload(processor, new_ids)
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "kind": "segment",
+        "segment": next_number,
+        "embed_dim": config.embed_dim,
+        "dtype": live_dtype,
+        "lsh": live_lsh,
+        "tables": tables_meta,
+        "tombstones": tombstones,
+        "intervals": _interval_payload(
+            processor.interval_tree.intervals_for_tables(new_ids)
+        ),
+    }
+    segment_path = base.parent / (
+        base.stem + _SEGMENT_SUFFIX.format(number=next_number)
     )
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
-    if path.suffix != ".npz":  # np.savez appends .npz when missing
-        path = path.with_suffix(path.suffix + ".npz")
-    return path
+    return _write_archive(segment_path, meta, arrays)
 
 
+def compact_snapshot(path: PathLike) -> Path:
+    """Fold a base + its append-only segments back into one base archive.
+
+    Replays the segments, rewrites the base with the merged state and then
+    deletes the segment files; loading the compacted snapshot is equivalent
+    to loading the segmented one (``tests/test_serving.py`` pins this).  A
+    snapshot with no segments is returned untouched.  Crash safety: the base
+    is rewritten *before* the segments are deleted, and replaying a segment
+    over the compacted base is idempotent, so an interruption between the
+    two steps cannot corrupt the snapshot.
+    """
+    base = _resolve_snapshot_path(path)
+    segments = snapshot_segments(base)
+    if not segments:
+        return base
+    base, base_meta, tables, intervals = _merged_snapshot(base)
+    tables_meta: List[dict] = []
+    arrays: Dict[str, np.ndarray] = {}
+    for position, (table_id, (entry, representations)) in enumerate(tables.items()):
+        arrays[f"rep_{position}"] = representations
+        tables_meta.append(entry)
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "embed_dim": base_meta["embed_dim"],
+        "dtype": base_meta.get("dtype", "float64"),
+        "lsh": base_meta["lsh"],
+        "tables": tables_meta,
+        "intervals": intervals,
+    }
+    base = _write_archive(base, meta, arrays)
+    for segment in segments:
+        segment.unlink()
+    return base
+
+
+# --------------------------------------------------------------------------- #
+# Load
+# --------------------------------------------------------------------------- #
 def load_processor(
     model: FCMModel,
     path: PathLike,
@@ -94,24 +443,17 @@ def load_processor(
 ) -> HybridQueryProcessor:
     """Rebuild a query processor from a snapshot, without re-encoding.
 
+    The base archive is read and any append-only segments are replayed in
+    order (tombstones applied, then additions), so the restored state is
+    exactly what the last ``save_processor`` — full or append — recorded.
     The snapshot's cached encodings are injected into a fresh (or supplied)
     scorer, the interval tree is rebuilt from the saved intervals and the
     LSH from the saved codes — queries against the result are identical to
     the processor that was saved (``tests/test_serving.py`` pins the round
-    trip).  Raises ``ValueError`` if the model's embedding dimension does
-    not match the snapshot's.
+    trip).  Raises ``ValueError`` if the model's embedding dimension or
+    numeric precision does not match the snapshot's.
     """
-    path = Path(path)
-    if not path.exists() and path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        arrays = {name: archive[name] for name in archive.files}
-    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
-    if meta.get("version") != SNAPSHOT_VERSION:
-        raise ValueError(
-            f"unsupported snapshot version {meta.get('version')!r} "
-            f"(expected {SNAPSHOT_VERSION})"
-        )
+    base, meta, tables, interval_rows = _merged_snapshot(path)
     if meta["embed_dim"] != model.config.embed_dim:
         raise ValueError(
             f"snapshot was built with embed_dim={meta['embed_dim']}, "
@@ -133,10 +475,9 @@ def load_processor(
     lsh = RandomHyperplaneLSH(
         model.config.embed_dim, config=lsh_config, dtype=model.config.numeric_dtype
     )
-    for position, table_meta in enumerate(meta["tables"]):
-        representations = arrays[f"rep_{position}"]
+    for table_id, (table_meta, representations) in tables.items():
         encoded = EncodedTable(
-            table_id=table_meta["table_id"],
+            table_id=table_id,
             representations=representations,
             column_names=list(table_meta["column_names"]),
             column_ranges=[(lo, hi) for lo, hi in table_meta["column_ranges"]],
@@ -148,6 +489,6 @@ def load_processor(
     processor.lsh = lsh
     processor.interval_tree = IntervalTree(
         Interval(low=low, high=high, table_id=table_id, column_name=column_name)
-        for low, high, table_id, column_name in meta["intervals"]
+        for low, high, table_id, column_name in interval_rows
     )
     return processor

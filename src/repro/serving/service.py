@@ -45,8 +45,14 @@ from ..index.hybrid import (
 )
 from ..index.lsh import LSHConfig
 from ..vision.extractor import VisualElementExtractor
-from .persistence import PathLike, load_processor, save_processor
+from .persistence import (
+    PathLike,
+    compact_snapshot,
+    load_processor,
+    save_processor,
+)
 from .sharding import ShardBuildReport, encode_tables_sharded
+from .workers import QueryWorkerPool, split_shards
 
 
 @dataclass
@@ -67,7 +73,22 @@ class ServingConfig:
         When ``> 1``, candidate verification fans out over this many shards
         of the candidate set — one stacked matcher forward per shard —
         bounding the padded batch size on very large repositories.  Results
-        are identical to the single-batch path.
+        are identical to the single-batch path.  With ``query_workers`` set,
+        this is the number of shards scattered over the worker pool
+        (``1`` means one shard per worker).
+    query_workers:
+        When ``>= 2``, candidate verification runs on a persistent
+        process-level worker pool (:class:`repro.serving.workers.QueryWorkerPool`):
+        each worker rehydrates the model once, receives incremental cache
+        syncs, and scores a shard of the candidates per query.  Rankings and
+        scores are identical to in-process serving; any pool failure falls
+        back in-process (sticky — see :meth:`SearchService.reset_query_pool`).
+        ``0`` (default) and ``1`` verify in-process.
+    worker_timeout:
+        Optional per-operation wall-clock guard (seconds) for the query
+        worker pool (sync broadcast or per-query scatter/gather); on expiry
+        the query is re-verified in-process and the pool is retired.
+        ``None`` waits indefinitely.
     build_timeout:
         Optional wall-clock guard (seconds) for a sharded build; on expiry
         the build falls back to the in-process encode.
@@ -84,6 +105,8 @@ class ServingConfig:
     result_cache_size: int = 128
     num_workers: int = 1
     num_query_shards: int = 1
+    query_workers: int = 0
+    worker_timeout: Optional[float] = None
     build_timeout: Optional[float] = None
     dtype: Optional[str] = None
 
@@ -92,6 +115,8 @@ class ServingConfig:
             raise ValueError("result_cache_size must be >= 0")
         if self.num_query_shards < 1:
             raise ValueError("num_query_shards must be >= 1")
+        if self.query_workers < 0:
+            raise ValueError("query_workers must be >= 0")
         if self.dtype is not None:
             from ..nn import resolve_dtype
 
@@ -126,6 +151,10 @@ class ServiceStats:
     tables_added: int = 0
     tables_removed: int = 0
     invalidations: int = 0
+    #: Queries whose verification stage ran on the process-level worker pool.
+    worker_queries: int = 0
+    #: Times the worker pool failed and verification fell back in-process.
+    worker_fallbacks: int = 0
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """A plain-dict snapshot (JSON-friendly, used by the benchmarks)."""
@@ -164,6 +193,17 @@ class SearchService:
         )
         self.stats = ServiceStats()
         self.last_shard_report: Optional[ShardBuildReport] = None
+        # Process-level query verification (config.query_workers >= 2): the
+        # pool is created lazily on the first query, kept in sync with index
+        # mutations by diffing table ids, and retired permanently on the
+        # first failure (worker_fallback_reason records why).
+        self._query_pool: Optional[QueryWorkerPool] = None
+        self._pool_table_ids: set = set()
+        # Ids removed since the last pool sync: a re-add under the same id
+        # re-encodes the table, so workers must receive the fresh payload
+        # even though the id-level diff looks unchanged.
+        self._pool_removed_ids: set = set()
+        self.worker_fallback_reason: Optional[str] = None
         # (chart content hash, k, strategy) -> QueryResult (same content-hash
         # idiom as FCMScorer.prepare_query): equal charts from different
         # objects share entries, and mutating a chart in place changes its
@@ -226,11 +266,114 @@ class SearchService:
 
     def remove_tables(self, table_ids: Iterable[str]) -> int:
         """Drop tables from every structure (invalidates the result cache)."""
+        table_ids = list(table_ids)
+        known = set(self.processor.table_ids)
         removed = self.processor.remove_tables(table_ids)
         self.stats.tables_removed += removed
         if removed:
+            self._pool_removed_ids.update(t for t in table_ids if t in known)
             self._invalidate()
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Process-level query verification (QueryWorkerPool)
+    # ------------------------------------------------------------------ #
+    @property
+    def query_pool(self) -> Optional[QueryWorkerPool]:
+        """The live worker pool, or ``None`` (not configured / not yet
+        started / retired after a failure — see :attr:`worker_fallback_reason`)."""
+        return self._query_pool
+
+    def _ensure_query_pool(self) -> Optional[QueryWorkerPool]:
+        if self.config.query_workers < 2 or self.worker_fallback_reason is not None:
+            return None
+        if self._query_pool is None:
+            try:
+                pool = QueryWorkerPool(self.model, self.config.query_workers)
+                pool.start()
+            except Exception as exc:  # degrade, never fail the query
+                self._retire_query_pool(f"{type(exc).__name__}: {exc}")
+                return None
+            self._query_pool = pool
+            self._pool_table_ids = set()
+        return self._query_pool
+
+    def _retire_query_pool(self, reason: str) -> None:
+        self.worker_fallback_reason = reason
+        self.stats.worker_fallbacks += 1
+        if self._query_pool is not None:
+            self._query_pool.close()
+            self._query_pool = None
+        self._pool_table_ids = set()
+        self._pool_removed_ids = set()
+
+    def reset_query_pool(self) -> None:
+        """Forget a recorded pool failure so the next query retries the pool.
+
+        The fallback is sticky by design — a broken pool should not add a
+        spawn attempt to every query's latency — so an operator (or a test)
+        that has fixed the underlying condition opts back in explicitly.
+        """
+        self.worker_fallback_reason = None
+
+    def _sync_query_pool(self, pool: QueryWorkerPool) -> None:
+        """Ship the table-cache diff since the last sync to every worker.
+
+        The diff is content-aware, not just id-aware: a table removed and
+        re-added under the same id was re-encoded by the parent, so its id
+        lands in ``_pool_removed_ids`` and the fresh payload is re-shipped
+        (a worker-side ``add_encoded`` overwrites the stale entry).
+        """
+        current = set(self.processor.table_ids)
+        refresh = current & self._pool_table_ids & self._pool_removed_ids
+        added = sorted((current - self._pool_table_ids) | refresh)
+        evicted = sorted(self._pool_table_ids - current)
+        if added or evicted:
+            pool.sync(
+                [self.scorer.encoded_table(table_id) for table_id in added],
+                evicted,
+                timeout=self.config.worker_timeout,
+            )
+        self._pool_table_ids = current
+        self._pool_removed_ids.clear()
+
+    def _verify_with_workers(self, chart_input, ordered_ids, num_shards):
+        """Verification hook handed to :meth:`HybridQueryProcessor.query`.
+
+        Returns the worker-pool scores, or ``None`` after retiring the pool
+        on any failure (the processor then verifies in-process — the query
+        always succeeds).
+        """
+        pool = self._ensure_query_pool()
+        if pool is None:
+            return None
+        try:
+            self._sync_query_pool(pool)
+            shards = split_shards(
+                ordered_ids, num_shards if num_shards > 1 else pool.num_workers
+            )
+            scores = pool.score(
+                chart_input, shards, timeout=self.config.worker_timeout
+            )
+        except Exception as exc:
+            self._retire_query_pool(f"{type(exc).__name__}: {exc}")
+            return None
+        self.stats.worker_queries += 1
+        return scores
+
+    def close(self) -> None:
+        """Release the query worker pool (idempotent; safe without one)."""
+        if self._query_pool is not None:
+            self._query_pool.close()
+            self._query_pool = None
+        self._pool_table_ids = set()
+        self._pool_removed_ids = set()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # Query serving
@@ -252,6 +395,11 @@ class SearchService:
         served from an LRU cache — a re-rendered but pixel-identical chart
         hits the same entry; any :meth:`add_tables` / :meth:`remove_tables`
         / :meth:`build` call invalidates the cache.
+
+        With ``ServingConfig(query_workers=N)`` the verification stage runs
+        on the persistent process pool (identical scores; see
+        :mod:`repro.serving.workers`); a pool failure silently re-verifies
+        in-process and retires the pool.
         """
         key = (chart.fingerprint(), int(k), strategy)
         hit = self._result_cache.get(key)
@@ -260,8 +408,17 @@ class SearchService:
             self.stats.per_strategy[strategy].cache_hits += 1
             return hit
 
+        verifier = (
+            self._verify_with_workers
+            if self.config.query_workers >= 2 and self.worker_fallback_reason is None
+            else None
+        )
         result = self.processor.query(
-            chart, k, strategy=strategy, num_verify_shards=self.config.num_query_shards
+            chart,
+            k,
+            strategy=strategy,
+            num_verify_shards=self.config.num_query_shards,
+            verifier=verifier,
         )
 
         stats = self.stats.per_strategy[strategy]
@@ -278,9 +435,28 @@ class SearchService:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save_index(self, path: PathLike) -> "PathLike":
-        """Snapshot cached encodings + LSH codes + interval data to ``path``."""
-        return save_processor(self.processor, path)
+    def save_index(self, path: PathLike, append: bool = False) -> "PathLike":
+        """Snapshot cached encodings + LSH codes + interval data to ``path``.
+
+        ``append=True`` writes only the delta since the base snapshot (plus
+        earlier segments) as a numbered append-only segment next to it —
+        O(delta) instead of O(index), the right call after a small
+        :meth:`add_tables` / :meth:`remove_tables` batch.  Returns the path
+        written (the base for a full save or an empty delta, the new segment
+        file otherwise).  See :func:`repro.serving.persistence.save_processor`.
+        """
+        return save_processor(self.processor, path, append=append)
+
+    @staticmethod
+    def compact_snapshot(path: PathLike) -> "PathLike":
+        """Fold a snapshot's append-only segments back into its base archive.
+
+        Convenience re-export of
+        :func:`repro.serving.persistence.compact_snapshot` — run it when a
+        snapshot has accumulated enough segments that replay cost (or file
+        count) matters; loading is equivalent before and after.
+        """
+        return compact_snapshot(path)
 
     @classmethod
     def load_index(

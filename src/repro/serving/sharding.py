@@ -43,12 +43,24 @@ from ..fcm.scorer import EncodedTable, FCMScorer
 _WORKER_SCORER: Optional[FCMScorer] = None
 
 
-def _init_worker(config: FCMConfig, state: Dict[str, np.ndarray]) -> None:
-    global _WORKER_SCORER
+def build_worker_scorer(config: FCMConfig, state: Dict[str, np.ndarray]) -> FCMScorer:
+    """Rehydrate a ready-to-serve scorer from ``(config, state_dict)``.
+
+    The one-time worker-process initialisation shared by the sharded-build
+    pool (here) and the persistent query-worker pool
+    (:mod:`repro.serving.workers`): reconstruct the model under the parent's
+    pinned precision (``config.dtype``), load the weight snapshot, switch to
+    eval mode and wrap it in a fresh :class:`~repro.fcm.scorer.FCMScorer`.
+    """
     model = FCMModel(config)
     model.load_state_dict(state)
     model.eval()
-    _WORKER_SCORER = FCMScorer(model)
+    return FCMScorer(model)
+
+
+def _init_worker(config: FCMConfig, state: Dict[str, np.ndarray]) -> None:
+    global _WORKER_SCORER
+    _WORKER_SCORER = build_worker_scorer(config, state)
 
 
 def _encode_shard(tables: List[Table]) -> List[EncodedTable]:
@@ -80,15 +92,26 @@ def _encode_in_process(
     return [scorer.encoded_table(table.table_id) for table in tables]
 
 
-def shard_tables(tables: Sequence[Table], num_shards: int) -> List[List[Table]]:
-    """Split ``tables`` into ``num_shards`` contiguous, near-equal chunks."""
-    num_shards = max(1, min(int(num_shards), len(tables)))
-    bounds = np.linspace(0, len(tables), num_shards + 1).astype(int)
+def chunk_evenly(items: Sequence, num_chunks: int) -> List[list]:
+    """Split a sequence into contiguous, near-equal chunks (no empties).
+
+    The one partitioning rule of the serving layer: build shards
+    (:func:`shard_tables`) and query-verification shards
+    (:func:`repro.serving.workers.split_shards`) both use it, so the two
+    fan-outs can never drift apart.
+    """
+    num_chunks = max(1, min(int(num_chunks), len(items)))
+    bounds = np.linspace(0, len(items), num_chunks + 1).astype(int)
     return [
-        list(tables[start:end])
+        list(items[start:end])
         for start, end in zip(bounds[:-1], bounds[1:])
         if end > start
     ]
+
+
+def shard_tables(tables: Sequence[Table], num_shards: int) -> List[List[Table]]:
+    """Split ``tables`` into ``num_shards`` contiguous, near-equal chunks."""
+    return chunk_evenly(tables, num_shards)
 
 
 def encode_tables_sharded(

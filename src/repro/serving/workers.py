@@ -1,0 +1,305 @@
+"""Persistent process-level query-verification workers.
+
+``ServingConfig(num_query_shards=N)`` bounds the padded matcher batch by
+splitting candidate verification into N stacked forwards — but they all run
+on the parent's single core.  This module gives :class:`SearchService` real
+*process*-level parallelism for the verification stage without paying a
+process-spawn (or model-rebuild) cost per query:
+
+* :class:`QueryWorkerPool` keeps ``num_workers`` long-lived worker processes
+  alive for the service's lifetime.  Each worker rehydrates the model
+  **once** from ``(config, state_dict)`` — the same initialisation the
+  sharded-build pool uses (:func:`repro.serving.sharding.build_worker_scorer`)
+  — so the weights cross the process boundary a single time.
+* The parent *syncs* cached :class:`~repro.fcm.scorer.EncodedTable` payloads
+  (and evictions) to every worker incrementally, so after the initial
+  broadcast an ``add_tables`` of m tables ships only those m encodings.
+* Per query, the parent prepares the chart once
+  (:meth:`FCMScorer.prepare_query`) and scatters ``(chart_input, shard)``
+  tasks; each worker scores its shard with
+  :meth:`FCMScorer.score_encoded_batch` against its own synced cache.
+  Identical inputs, weights and ops mean the gathered scores equal the
+  in-process path to floating-point accuracy (``tests/test_serving.py``
+  pins ≤1e-8 under float64).
+
+The pool never takes the service down: any failure — spawn refusal, a dead
+worker, a reply timeout — raises :class:`WorkerPoolError` to the caller,
+and :class:`SearchService` responds by closing the pool and serving the
+query in-process (the fallback is sticky until
+:meth:`SearchService.reset_query_pool`).
+
+Precision: as with sharded builds, the parent's :class:`FCMConfig` pins its
+resolved dtype, so workers score under the parent's precision regardless of
+their own ``REPRO_DTYPE`` environment.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..fcm.config import FCMConfig
+from ..fcm.model import FCMModel
+from ..fcm.preprocessing import ChartInput
+from ..fcm.scorer import EncodedTable
+from .sharding import build_worker_scorer, chunk_evenly
+
+
+class WorkerPoolError(RuntimeError):
+    """A query-worker operation failed (caller should fall back in-process)."""
+
+
+def _worker_main(conn, config: FCMConfig, state: Dict[str, np.ndarray]) -> None:
+    """Worker-process loop: rehydrate once, then serve sync/score requests."""
+    try:
+        scorer = build_worker_scorer(config, state)
+    except BaseException as exc:  # report the failed init, then exit
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+        conn.close()
+        return
+    conn.send(("ready", None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):  # parent went away
+            break
+        kind = message[0]
+        try:
+            if kind == "stop":
+                break
+            if kind == "sync":
+                _, encoded, evicted = message
+                for item in encoded:
+                    scorer.add_encoded(item)
+                for table_id in evicted:
+                    scorer.evict_table(table_id)
+                reply = ("ok", len(encoded) + len(evicted))
+            elif kind == "score":
+                _, chart_input, table_ids = message
+                reply = ("ok", scorer.score_encoded_batch(chart_input, table_ids))
+            else:
+                reply = ("error", f"unknown message kind {kind!r}")
+        except BaseException as exc:
+            reply = ("error", f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+@dataclass
+class WorkerPoolStats:
+    """What a pool has done since :meth:`QueryWorkerPool.start` (diagnostics)."""
+
+    num_workers: int = 0
+    queries: int = 0
+    tables_synced: int = 0
+    tables_evicted: int = 0
+
+
+def split_shards(ids: Sequence[str], num_shards: int) -> List[List[str]]:
+    """Split candidate ids into ``num_shards`` contiguous, near-equal shards."""
+    return chunk_evenly(list(ids), num_shards)
+
+
+class QueryWorkerPool:
+    """A fixed set of long-lived processes verifying candidate shards.
+
+    Unlike a task-queue executor, every worker owns a private duplex pipe:
+    the parent can *broadcast* cache syncs to all workers and *scatter*
+    per-query shards, then gather the replies in order.  Workers are started
+    by :meth:`start` (a ``ready`` handshake confirms the model rehydrated)
+    and run until :meth:`close` or parent exit (daemon processes).
+
+    All operations raise :class:`WorkerPoolError` on any worker failure or
+    timeout; the pool is not usable afterwards and should be closed.
+    """
+
+    def __init__(
+        self,
+        model: FCMModel,
+        num_workers: int,
+        start_timeout: Optional[float] = 120.0,
+    ) -> None:
+        if num_workers < 2:
+            raise ValueError("QueryWorkerPool needs num_workers >= 2")
+        self._model = model
+        self._num_workers = int(num_workers)
+        self._start_timeout = start_timeout
+        self._processes: List[multiprocessing.Process] = []
+        self._connections: list = []
+        self.stats = WorkerPoolStats()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def num_workers(self) -> int:
+        return self._num_workers
+
+    @property
+    def started(self) -> bool:
+        return bool(self._processes)
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._processes) and all(p.is_alive() for p in self._processes)
+
+    def start(self) -> "QueryWorkerPool":
+        """Spawn the workers and wait for every ``ready`` handshake.
+
+        Each worker receives ``(model.config, state_dict)`` once, rebuilds
+        the model and acknowledges; a worker that fails to initialise (or to
+        answer within ``start_timeout`` seconds) aborts the whole start with
+        :class:`WorkerPoolError` after closing whatever came up.
+        """
+        if self._processes:
+            return self
+        context = multiprocessing.get_context()
+        config, state = self._model.config, self._model.state_dict()
+        try:
+            for _ in range(self._num_workers):
+                parent_conn, child_conn = context.Pipe(duplex=True)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, config, state),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                self._connections.append(parent_conn)
+            deadline = (
+                None
+                if self._start_timeout is None
+                else time.perf_counter() + self._start_timeout
+            )
+            for conn in self._connections:
+                kind, payload = self._recv(conn, deadline)
+                if kind != "ready":
+                    raise WorkerPoolError(f"worker failed to initialise: {payload}")
+        except Exception:
+            self.close()
+            raise
+        self.stats = WorkerPoolStats(num_workers=self._num_workers)
+        return self
+
+    def close(self) -> None:
+        """Stop every worker (idempotent; never raises)."""
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+            except Exception:
+                pass
+        for conn in self._connections:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for process in self._processes:
+            try:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.terminate()
+            except Exception:
+                pass
+        self._processes = []
+        self._connections = []
+
+    def __enter__(self) -> "QueryWorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Messaging
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _recv(conn, deadline: Optional[float]):
+        """One reply off ``conn``, honouring the deadline; normalises errors."""
+        remaining = None if deadline is None else deadline - time.perf_counter()
+        if remaining is not None and not conn.poll(max(0.0, remaining)):
+            raise WorkerPoolError("timed out waiting for a worker reply")
+        try:
+            message = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerPoolError(f"worker connection lost: {exc}") from exc
+        kind, payload = message
+        if kind == "error":
+            raise WorkerPoolError(f"worker failed: {payload}")
+        return kind, payload
+
+    def _require_started(self) -> None:
+        if not self._processes:
+            raise WorkerPoolError("pool is not running (call start())")
+
+    def _deadline(self, timeout: Optional[float]) -> Optional[float]:
+        return None if timeout is None else time.perf_counter() + timeout
+
+    def sync(
+        self,
+        encoded: Sequence[EncodedTable],
+        evicted: Sequence[str] = (),
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Broadcast cache additions/evictions to every worker and wait.
+
+        ``encoded`` payloads are the parent's cached
+        :class:`~repro.fcm.scorer.EncodedTable` objects (shipped verbatim, so
+        worker-side scores use the exact arrays the parent would); ``evicted``
+        ids are dropped from every worker cache.  The call is incremental —
+        the serving layer only sends the diff since the last sync.
+        """
+        self._require_started()
+        encoded = list(encoded)
+        evicted = list(evicted)
+        if not encoded and not evicted:
+            return
+        deadline = self._deadline(timeout)
+        for conn in self._connections:
+            conn.send(("sync", encoded, evicted))
+        for conn in self._connections:
+            self._recv(conn, deadline)
+        self.stats.tables_synced += len(encoded)
+        self.stats.tables_evicted += len(evicted)
+
+    def score(
+        self,
+        chart_input: ChartInput,
+        shards: Sequence[Sequence[str]],
+        timeout: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Scatter candidate shards over the workers and gather the scores.
+
+        Shards are assigned round-robin (shard *i* to worker ``i % W``); a
+        worker holding several shards pipelines them over its FIFO pipe.
+        Returns the merged ``{table_id: score}`` map covering every id in
+        every shard.
+        """
+        self._require_started()
+        shards = [list(shard) for shard in shards if shard]
+        if not shards:
+            return {}
+        deadline = self._deadline(timeout)
+        assigned: List[int] = []
+        for index, (shard, conn) in enumerate(
+            zip(shards, itertools.cycle(self._connections))
+        ):
+            conn.send(("score", chart_input, shard))
+            assigned.append(index % len(self._connections))
+        scores: Dict[str, float] = {}
+        for conn_index in assigned:
+            _, payload = self._recv(self._connections[conn_index], deadline)
+            scores.update(payload)
+        self.stats.queries += 1
+        return scores

@@ -20,11 +20,17 @@ from repro.charts import render_chart_for_table
 from repro.data import Column, Table
 from repro.fcm import FCMModel, FCMScorer
 from repro.index import Interval, IntervalTree, LSHConfig, RandomHyperplaneLSH
+from repro.nn import using_dtype
 from repro.serving import (
+    QueryWorkerPool,
     SearchService,
     ServingConfig,
+    WorkerPoolError,
+    compact_snapshot,
     encode_tables_sharded,
     shard_tables,
+    snapshot_segments,
+    split_shards,
 )
 
 from conftest import active_dtype, dtype_tol
@@ -494,3 +500,356 @@ class TestShardedBuild:
         assert report.num_workers == 1
         assert report.fallback_reason is None
         assert len(encoded) == 3
+
+
+# --------------------------------------------------------------------------- #
+# Process-level parallel query verification (QueryWorkerPool)
+# --------------------------------------------------------------------------- #
+def _pooled_service(model, **config_kwargs) -> SearchService:
+    config_kwargs.setdefault("query_workers", 2)
+    config_kwargs.setdefault("worker_timeout", SHARD_TIMEOUT_SECONDS)
+    return _make_service(model, **config_kwargs)
+
+
+def _skip_unless_pool_ran(service: SearchService) -> None:
+    if service.worker_fallback_reason is not None:
+        pytest.skip(f"query worker pool unavailable: {service.worker_fallback_reason}")
+
+
+class TestQueryWorkerPool:
+    def test_split_shards_partitions_everything_once(self):
+        ids = [f"t{i}" for i in range(7)]
+        shards = split_shards(ids, 3)
+        assert [table_id for shard in shards for table_id in shard] == ids
+        assert len(shards) == 3
+        assert split_shards(ids, 99) == [[table_id] for table_id in ids]
+        assert split_shards([], 3) == []
+
+    def test_pool_requires_two_workers(self, serving_model):
+        with pytest.raises(ValueError, match="num_workers"):
+            QueryWorkerPool(serving_model, num_workers=1)
+
+    def test_worker_pool_rankings_match_in_process(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """The acceptance bar: pool scores identical to in-process serving."""
+        pooled = _pooled_service(serving_model)
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            pooled.build(serving_tables[:7])
+            reference.build(serving_tables[:7])
+            pooled.query(query_charts[0], k=5)  # spins the pool up lazily
+            _skip_unless_pool_ran(pooled)
+            for chart in query_charts:
+                for strategy in STRATEGIES:
+                    _assert_rankings_match(
+                        pooled.query(chart, k=5, strategy=strategy),
+                        reference.query(chart, k=5, strategy=strategy),
+                    )
+            assert pooled.worker_fallback_reason is None
+            assert pooled.stats.worker_queries > 0
+            assert pooled.stats.worker_fallbacks == 0
+        finally:
+            pooled.close()
+
+    def test_explicit_shard_count_scatters_over_the_pool(
+        self, serving_model, serving_tables, query_charts
+    ):
+        pooled = _pooled_service(serving_model, num_query_shards=3)
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            pooled.build(serving_tables[:7])
+            reference.build(serving_tables[:7])
+            result = pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+            _assert_rankings_match(result, reference.query(query_charts[0], k=5))
+            assert pooled.query_pool is not None
+            assert pooled.query_pool.stats.queries == 1
+        finally:
+            pooled.close()
+
+    def test_mutations_sync_to_workers(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """add/remove between queries ships only the diff, results stay exact."""
+        pooled = _pooled_service(serving_model)
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            pooled.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            pooled.add_tables(serving_tables[5:8])
+            pooled.remove_tables([serving_tables[1].table_id])
+            final_tables = [
+                t
+                for t in serving_tables[:8]
+                if t.table_id != serving_tables[1].table_id
+            ]
+            reference.build(final_tables)
+            for chart in query_charts:
+                for strategy in STRATEGIES:
+                    _assert_rankings_match(
+                        pooled.query(chart, k=5, strategy=strategy),
+                        reference.query(chart, k=5, strategy=strategy),
+                    )
+            assert pooled.worker_fallback_reason is None
+            pool_stats = pooled.query_pool.stats
+            assert pool_stats.tables_synced == 8  # 5 initial + 3 added
+            assert pool_stats.tables_evicted == 1
+        finally:
+            pooled.close()
+
+    def test_reused_table_id_with_new_content_resyncs_to_workers(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """Remove + re-add under the same id must re-ship the new encoding.
+
+        The id-level diff alone would call this 'no change'; the pool sync
+        is content-aware via the removed-ids set, so workers cannot keep
+        scoring the stale table.
+        """
+        victim = serving_tables[0]
+        impostor = Table(victim.table_id, list(serving_tables[8].columns))
+        pooled = _pooled_service(serving_model)
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            pooled.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            pooled.remove_tables([victim.table_id])
+            pooled.add_tables([impostor])
+            reference.build([impostor] + serving_tables[1:5])
+            for chart in query_charts:
+                _assert_rankings_match(
+                    pooled.query(chart, k=5), reference.query(chart, k=5)
+                )
+            assert pooled.worker_fallback_reason is None
+        finally:
+            pooled.close()
+
+    def test_pool_failure_falls_back_in_process_and_reset_reenables(
+        self, serving_model, serving_tables, query_charts
+    ):
+        pooled = _pooled_service(serving_model)
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            pooled.build(serving_tables[:5])
+            reference.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            # Sabotage the live pool behind the service's back: the next
+            # uncached query hits dead workers, falls back in-process and
+            # retires the pool — the query itself must still succeed.
+            pooled.query_pool.close()
+            fallback_result = pooled.query(query_charts[1], k=5)
+            assert pooled.worker_fallback_reason is not None
+            assert pooled.query_pool is None
+            assert pooled.stats.worker_fallbacks == 1
+            _assert_rankings_match(
+                fallback_result, reference.query(query_charts[1], k=5)
+            )
+
+            # Sticky: further queries serve in-process without re-spawning.
+            pooled.query(query_charts[2], k=5)
+            assert pooled.stats.worker_fallbacks == 1
+
+            # reset_query_pool() opts back in; a fresh pool serves again.
+            worker_queries_before = pooled.stats.worker_queries
+            pooled.reset_query_pool()
+            retried = pooled.query(query_charts[0], k=7)  # new k -> uncached
+            if pooled.worker_fallback_reason is None:
+                assert pooled.stats.worker_queries == worker_queries_before + 1
+            _assert_rankings_match(retried, reference.query(query_charts[0], k=7))
+        finally:
+            pooled.close()
+
+
+# --------------------------------------------------------------------------- #
+# Append-only snapshot segments + compaction
+# --------------------------------------------------------------------------- #
+class TestSnapshotSegments:
+    def test_append_records_delta_and_load_replays(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:6])
+        base = service.save_index(tmp_path / "index.npz")
+
+        service.add_tables(serving_tables[6:8])
+        segment = service.save_index(base, append=True)
+        assert segment != base
+        assert snapshot_segments(base) == [segment]
+
+        loaded = SearchService.load_index(serving_model, base)
+        assert sorted(loaded.table_ids) == sorted(service.table_ids)
+        _assert_equivalent(loaded, service, query_charts)
+
+    def test_empty_delta_append_writes_nothing(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:4])
+        base = service.save_index(tmp_path / "index.npz")
+
+        assert service.save_index(base, append=True) == base
+        assert snapshot_segments(base) == []
+
+        # remove + re-add of the same table nets out to no recorded change.
+        service.remove_tables([serving_tables[0].table_id])
+        service.add_tables([serving_tables[0]])
+        assert service.save_index(base, append=True) == base
+        assert snapshot_segments(base) == []
+
+    def test_reused_table_id_with_new_content_is_a_real_delta(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        """Content fingerprints make a same-id/different-content re-add a
+        tombstone + re-add, not an empty delta that keeps the stale arrays."""
+        victim = serving_tables[0]
+        impostor = Table(victim.table_id, list(serving_tables[8].columns))
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        base = service.save_index(tmp_path / "index.npz")
+
+        service.remove_tables([victim.table_id])
+        service.add_tables([impostor])
+        segment = service.save_index(base, append=True)
+        assert segment != base  # a segment was actually written
+
+        loaded = SearchService.load_index(serving_model, base)
+        assert sorted(loaded.table_ids) == sorted(service.table_ids)
+        _assert_equivalent(loaded, service, query_charts)
+        np.testing.assert_array_equal(
+            loaded.scorer.encoded_table(victim.table_id).representations,
+            service.scorer.encoded_table(victim.table_id).representations,
+        )
+
+    def test_lsh_config_mismatched_append_rejected(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        base = service.save_index(tmp_path / "index.npz")
+
+        other = _make_service(
+            FCMModel(serving_model.config),
+            lsh_config=LSHConfig(num_bits=8, hamming_radius=1),
+        )
+        other.build(serving_tables[:4])
+        with pytest.raises(ValueError, match="LSH configuration"):
+            other.save_index(base, append=True)
+
+    def test_append_requires_an_existing_base(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        with pytest.raises(ValueError, match="existing base snapshot"):
+            service.save_index(tmp_path / "missing.npz", append=True)
+
+    def test_tombstone_replay_add_then_remove_then_append(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        base = service.save_index(tmp_path / "index.npz")
+
+        # Segment 1: +2 tables, -1 base table, -1 just-added table.
+        service.add_tables(serving_tables[5:7])
+        service.remove_tables(
+            [serving_tables[1].table_id, serving_tables[6].table_id]
+        )
+        first = service.save_index(base, append=True)
+        # Segment 2: a further add, and a tombstone for a segment-1 table.
+        service.add_tables(serving_tables[7:8])
+        service.remove_tables([serving_tables[5].table_id])
+        second = service.save_index(base, append=True)
+        assert snapshot_segments(base) == [first, second]
+
+        loaded = SearchService.load_index(serving_model, base)
+        assert sorted(loaded.table_ids) == sorted(service.table_ids)
+        _assert_equivalent(loaded, service, query_charts)
+
+        reference = _make_service(FCMModel(serving_model.config))
+        live_ids = set(service.table_ids)
+        reference.build([t for t in serving_tables if t.table_id in live_ids])
+        _assert_equivalent(loaded, reference, query_charts)
+
+    def test_compaction_equivalence(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:5])
+        base = service.save_index(tmp_path / "index.npz")
+        service.add_tables(serving_tables[5:7])
+        service.save_index(base, append=True)
+        service.remove_tables([serving_tables[0].table_id])
+        service.save_index(base, append=True)
+
+        before = SearchService.load_index(serving_model, base)
+        assert compact_snapshot(base) == base
+        assert snapshot_segments(base) == []
+        after = SearchService.load_index(serving_model, base)
+
+        assert sorted(after.table_ids) == sorted(before.table_ids)
+        _assert_equivalent(after, before, query_charts)
+        for table_id in before.table_ids:
+            np.testing.assert_array_equal(
+                after.scorer.encoded_table(table_id).representations,
+                before.scorer.encoded_table(table_id).representations,
+            )
+        # Compacting an already-compact snapshot is a no-op.
+        assert compact_snapshot(base) == base
+
+    def test_full_save_supersedes_segments(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:4])
+        base = service.save_index(tmp_path / "index.npz")
+        service.add_tables(serving_tables[4:6])
+        service.save_index(base, append=True)
+
+        assert service.save_index(base) == base  # full rewrite
+        assert snapshot_segments(base) == []
+        loaded = SearchService.load_index(serving_model, base)
+        _assert_equivalent(loaded, service, query_charts)
+
+    def test_dtype_mismatched_append_rejected(
+        self, serving_model, serving_tables, tiny_fcm_config, tmp_path
+    ):
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        base = service.save_index(tmp_path / "index.npz")
+
+        other = "float32" if active_dtype() == np.float64 else "float64"
+        with using_dtype(other):
+            other_service = _make_service(FCMModel(tiny_fcm_config))
+            other_service.build(serving_tables[:4])
+        with pytest.raises(ValueError, match="single-precision"):
+            other_service.save_index(base, append=True)
+
+    def test_dtype_mismatched_segment_rejected_at_load(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        from repro.serving.persistence import _read_archive, _write_archive
+
+        service = _make_service(serving_model)
+        service.build(serving_tables[:3])
+        base = service.save_index(tmp_path / "index.npz")
+        service.add_tables(serving_tables[3:4])
+        segment = service.save_index(base, append=True)
+
+        # Corrupt the lineage: flip the segment's recorded precision.
+        meta, arrays = _read_archive(segment)
+        meta["dtype"] = "float32" if meta["dtype"] == "float64" else "float64"
+        _write_archive(segment, meta, arrays)
+        with pytest.raises(ValueError, match="single-precision"):
+            SearchService.load_index(serving_model, base)
+        # Appending over the corrupted lineage is refused the same way.
+        service.add_tables(serving_tables[4:5])
+        with pytest.raises(ValueError, match="single-precision"):
+            service.save_index(base, append=True)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Check the relative links in README.md and docs/*.md actually resolve.
+
+Scans every markdown link / image target in the repo's top-level markdown
+files and the ``docs/``, ``benchmarks/`` and ``examples/`` trees.  External
+targets (``http(s)://``, ``mailto:``) and pure in-page anchors (``#...``)
+are ignored; everything else is resolved relative to the file it appears in
+and must exist on disk.  Exits 1 listing every broken link — the CI
+``docs-check`` job runs this next to the ``gen_api_docs.py --check`` diff.
+
+Usage::
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Where markdown worth checking lives.
+SEARCH_GLOBS = (
+    "*.md",
+    "docs/*.md",
+    "benchmarks/*.md",
+    "examples/*.md",
+    ".github/**/*.md",
+)
+
+#: Machine-produced source material (paper extractions, snippet dumps):
+#: their figure references were never files in this repository.
+EXEMPT = {"PAPER.md", "PAPERS.md", "SNIPPETS.md"}
+
+#: ``[text](target)`` and ``![alt](target)`` — good enough for this repo's
+#: plain markdown (no reference-style links, no angle-bracket targets).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def iter_markdown_files() -> List[Path]:
+    files = []
+    for pattern in SEARCH_GLOBS:
+        files.extend(REPO_ROOT.glob(pattern))
+    return sorted(path for path in set(files) if path.name not in EXEMPT)
+
+
+def broken_links(path: Path) -> List[Tuple[str, str]]:
+    """(target, reason) for every unresolvable relative link in ``path``."""
+    problems = []
+    for match in _LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            problems.append((target, f"no such file: {resolved}"))
+        elif REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+            problems.append((target, "resolves outside the repository"))
+    return problems
+
+
+def main() -> int:
+    failures = 0
+    checked = 0
+    for path in iter_markdown_files():
+        checked += 1
+        for target, reason in broken_links(path):
+            failures += 1
+            rel = path.relative_to(REPO_ROOT)
+            sys.stderr.write(f"{rel}: broken link '{target}' ({reason})\n")
+    if failures:
+        sys.stderr.write(f"{failures} broken link(s)\n")
+        return 1
+    print(f"all relative links resolve ({checked} markdown files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
