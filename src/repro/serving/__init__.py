@@ -11,6 +11,7 @@ query statistics.  See :class:`SearchService` for the facade,
 ``docs/SERVING_OPS.md`` for the operator's guide.
 """
 
+from .http.server import ChartSearchServer, HTTPServingConfig
 from .persistence import (
     SNAPSHOT_VERSION,
     compact_snapshot,
@@ -18,7 +19,13 @@ from .persistence import (
     save_processor,
     snapshot_segments,
 )
-from .service import SearchService, ServiceStats, ServingConfig, StrategyStats
+from .service import (
+    CLOSED_FALLBACK_REASON,
+    SearchService,
+    ServiceStats,
+    ServingConfig,
+    StrategyStats,
+)
 from .sharding import (
     ShardBuildReport,
     build_worker_scorer,
@@ -33,7 +40,10 @@ from .workers import (
 )
 
 __all__ = [
+    "CLOSED_FALLBACK_REASON",
     "SNAPSHOT_VERSION",
+    "ChartSearchServer",
+    "HTTPServingConfig",
     "QueryWorkerPool",
     "SearchService",
     "ServiceStats",

@@ -1,0 +1,6 @@
+"""``python -m repro.serving.http`` — boot the demo HTTP search server."""
+
+from .demo import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

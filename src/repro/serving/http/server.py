@@ -1,0 +1,602 @@
+"""A dependency-free threaded HTTP front-end over :class:`SearchService`.
+
+This is the serving stack's first network boundary: JSON chart specs in,
+ranked tables out, built entirely on the stdlib
+(:class:`http.server.ThreadingHTTPServer`) so the container needs nothing
+beyond what the repository already imports.
+
+Endpoints
+---------
+==========================  =================================================
+``POST /query``             top-``k`` search for a JSON chart payload
+``POST /tables``            add tables to the live index
+``DELETE /tables/<id>``     remove one table
+``GET /tables``             list indexed table ids
+``POST /snapshot``          persist the index (full base or O(delta) append)
+``GET /healthz``            liveness (503 while draining)
+``GET /metrics``            per-endpoint latency/status counters + the
+                            per-strategy stats the service already tracks
+==========================  =================================================
+
+Failure-path behaviour — the part a real client hits first — is explicit:
+
+* **Admission control.**  The service itself is single-writer (one
+  :class:`~repro.serving.service.SearchService` guarded by a lock), so the
+  server bounds how many requests may be *in flight* (executing + waiting
+  on that lock) at ``HTTPServingConfig.max_inflight``.  A request over the
+  bound is answered immediately with **429** and a ``Retry-After`` header —
+  overload degrades to fast rejections, never to unbounded queueing, hangs
+  or 5xx (``benchmarks/load_gen.py`` demonstrates this under a deliberate
+  overload burst).
+* **Graceful drain.**  :meth:`ChartSearchServer.close` stops admitting new
+  work (503), waits for in-flight requests to complete (bounded by
+  ``drain_timeout``), then tears the listener down — a query accepted
+  before the drain began always gets its response.
+* **Structured errors.**  Malformed JSON, unknown strategies, ``k <= 0``,
+  oversized bodies and unknown routes map to 400/413/404/405 JSON bodies
+  via :class:`~repro.serving.http.protocol.ProtocolError`; only a genuine
+  server-side defect produces a 500.
+
+``GET /healthz`` and ``GET /metrics`` bypass admission control: the
+operator's view must stay available precisely when the server is saturated.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..service import SearchService
+from .protocol import (
+    ProtocolError,
+    parse_query_payload,
+    parse_snapshot_payload,
+    parse_tables_payload,
+    query_result_to_dict,
+)
+
+
+@dataclass
+class HTTPServingConfig:
+    """Knobs of the HTTP front-end (index knobs live in ``ServingConfig``).
+
+    Attributes
+    ----------
+    host, port:
+        Bind address; port ``0`` picks a free ephemeral port (the bound
+        port is on :attr:`ChartSearchServer.port`).
+    max_inflight:
+        Admission bound: how many service requests may be in flight at
+        once — one executing inside the service lock, the rest queued on
+        it.  Requests beyond the bound get a 429 with ``Retry-After``
+        instead of joining an unbounded queue.
+    retry_after_seconds:
+        The hint sent in the 429 ``Retry-After`` header.
+    max_body_bytes:
+        Requests with a larger ``Content-Length`` are refused with 413
+        before the body is read.
+    drain_timeout:
+        How long :meth:`ChartSearchServer.close` waits for in-flight
+        requests before tearing the listener down anyway.
+    snapshot_path:
+        Default target of ``POST /snapshot`` when the body names none.
+    close_service:
+        When true, :meth:`ChartSearchServer.close` also closes the wrapped
+        :class:`~repro.serving.service.SearchService` (releasing its query
+        worker pool).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_inflight: int = 8
+    retry_after_seconds: float = 1.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    drain_timeout: float = 10.0
+    snapshot_path: Optional[str] = None
+    close_service: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.retry_after_seconds <= 0:
+            raise ValueError("retry_after_seconds must be positive")
+        if self.max_body_bytes < 1:
+            raise ValueError("max_body_bytes must be >= 1")
+        if self.drain_timeout < 0:
+            raise ValueError("drain_timeout must be >= 0")
+
+
+#: Ring size for per-endpoint latency percentiles: enough resolution for a
+#: p99 over a sustained load-gen phase, bounded so a long-lived server's
+#: metrics memory never grows with traffic.
+_LATENCY_RING = 4096
+
+
+@dataclass
+class EndpointMetrics:
+    """Latency/status counters for one ``METHOD /route`` pair."""
+
+    requests: int = 0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    recent_seconds: "deque[float]" = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_RING)
+    )
+
+    def observe(self, status: int, seconds: float) -> None:
+        self.requests += 1
+        key = str(int(status))
+        self.status_counts[key] = self.status_counts.get(key, 0) + 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+        self.recent_seconds.append(seconds)
+
+    def snapshot(self) -> Dict:
+        recent = np.asarray(self.recent_seconds, dtype=np.float64)
+        latency_ms: Dict[str, float] = {
+            "mean": (self.total_seconds / self.requests * 1e3)
+            if self.requests
+            else 0.0,
+            "max": self.max_seconds * 1e3,
+        }
+        if recent.size:
+            p50, p95, p99 = np.percentile(recent, [50.0, 95.0, 99.0]) * 1e3
+            latency_ms.update(p50=float(p50), p95=float(p95), p99=float(p99))
+        return {
+            "requests": self.requests,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "latency_ms": latency_ms,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe per-endpoint counters exported on ``GET /metrics``."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._endpoints: Dict[str, EndpointMetrics] = {}
+        self.rejected_429 = 0
+        self.draining_503 = 0
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            metrics = self._endpoints.get(endpoint)
+            if metrics is None:
+                metrics = self._endpoints[endpoint] = EndpointMetrics()
+            metrics.observe(status, seconds)
+            if status == 429:
+                self.rejected_429 += 1
+            elif status == 503:
+                self.draining_503 += 1
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                name: metrics.snapshot()
+                for name, metrics in sorted(self._endpoints.items())
+            }
+
+
+class ChartSearchServer:
+    """Serve a :class:`~repro.serving.service.SearchService` over HTTP.
+
+    The server owns a listener thread plus one handler thread per
+    connection (:class:`~http.server.ThreadingHTTPServer`); all service
+    calls are serialised behind one lock, which keeps the non-thread-safe
+    ``SearchService`` correct and makes the admission bound meaningful.
+
+    Example
+    -------
+    >>> server = ChartSearchServer(service).start()
+    >>> server.url
+    'http://127.0.0.1:43621'
+    >>> # ... POST /query, /tables, /snapshot ...
+    >>> server.close()          # drain in-flight requests, then stop
+    """
+
+    def __init__(
+        self,
+        service: SearchService,
+        config: Optional[HTTPServingConfig] = None,
+    ) -> None:
+        self.service = service
+        self.config = config or HTTPServingConfig()
+        self.metrics = MetricsRegistry()
+        self._service_lock = threading.Lock()
+        self._admission = threading.BoundedSemaphore(self.config.max_inflight)
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._idle = threading.Condition(self._inflight_lock)
+        self._draining = threading.Event()
+        self._started_monotonic = time.monotonic()
+        handler = type("_BoundHandler", (_RequestHandler,), {"owner": self})
+        self._httpd = ThreadingHTTPServer(
+            (self.config.host, self.config.port), handler
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def start(self) -> "ChartSearchServer":
+        """Begin serving on a daemon listener thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("server already closed; build a new one")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name=f"repro-http-{self.port}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self, drain_timeout: Optional[float] = None) -> None:
+        """Drain in-flight requests, then stop serving (idempotent).
+
+        New requests arriving during the drain are answered 503; requests
+        admitted before it began run to completion (bounded by
+        ``drain_timeout``, default ``config.drain_timeout``).  With
+        ``config.close_service`` the wrapped service's worker pool is
+        released as well.
+        """
+        if self._closed:
+            return
+        self._draining.set()
+        deadline = time.monotonic() + (
+            self.config.drain_timeout if drain_timeout is None else drain_timeout
+        )
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(timeout=remaining)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self.config.close_service:
+            self.service.close()
+        self._closed = True
+
+    def __enter__(self) -> "ChartSearchServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Request bookkeeping (called from handler threads)
+    # ------------------------------------------------------------------ #
+    def _enter_request(self) -> None:
+        with self._inflight_lock:
+            self._inflight += 1
+
+    def _exit_request(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Endpoint implementations (called under admission; service calls
+    # additionally take the service lock)
+    # ------------------------------------------------------------------ #
+    def handle_query(self, payload: object) -> Tuple[int, Dict]:
+        chart, k, strategy = parse_query_payload(
+            payload, self.service.model.config.chart_spec
+        )
+        with self._service_lock:
+            if self.service.num_tables == 0:
+                return 200, {
+                    "k": k,
+                    "strategy": strategy,
+                    "ranking": [],
+                    "candidates": 0,
+                    "total_tables": 0,
+                    "seconds": 0.0,
+                }
+            result = self.service.query(chart, k, strategy=strategy)
+        return 200, query_result_to_dict(result, k, strategy)
+
+    def handle_add_tables(self, payload: object) -> Tuple[int, Dict]:
+        tables = parse_tables_payload(payload)
+        with self._service_lock:
+            known = set(self.service.table_ids)
+            self.service.add_tables(tables)
+            added = [t.table_id for t in tables if t.table_id not in known]
+            skipped = [t.table_id for t in tables if t.table_id in known]
+            num_tables = self.service.num_tables
+        return 200, {
+            "added": added,
+            "already_indexed": skipped,
+            "num_tables": num_tables,
+        }
+
+    def handle_remove_table(self, table_id: str) -> Tuple[int, Dict]:
+        with self._service_lock:
+            removed = self.service.remove_tables([table_id])
+            num_tables = self.service.num_tables
+        if removed == 0:
+            raise ProtocolError(f"unknown table id {table_id!r}", status=404)
+        return 200, {"removed": table_id, "num_tables": num_tables}
+
+    def handle_list_tables(self) -> Tuple[int, Dict]:
+        with self._service_lock:
+            ids = sorted(self.service.table_ids)
+        return 200, {"num_tables": len(ids), "table_ids": ids}
+
+    def handle_snapshot(self, payload: object) -> Tuple[int, Dict]:
+        path, append = parse_snapshot_payload(
+            payload, self.config.snapshot_path
+        )
+        with self._service_lock:
+            written = self.service.save_index(path, append=append)
+            num_tables = self.service.num_tables
+        return 200, {
+            "path": str(written),
+            "append": append,
+            "num_tables": num_tables,
+        }
+
+    def handle_healthz(self) -> Tuple[int, Dict]:
+        status = "draining" if self.draining else "ok"
+        body = {
+            "status": status,
+            "num_tables": self.service.num_tables,
+            "inflight": self.inflight,
+        }
+        return (503 if self.draining else 200), body
+
+    def handle_metrics(self) -> Tuple[int, Dict]:
+        service_stats = self.service.stats
+        body = {
+            "uptime_seconds": time.monotonic() - self._started_monotonic,
+            "endpoints": self.metrics.snapshot(),
+            "admission": {
+                "max_inflight": self.config.max_inflight,
+                "inflight": self.inflight,
+                "rejected_429": self.metrics.rejected_429,
+                "draining_503": self.metrics.draining_503,
+            },
+            "service": {
+                "num_tables": self.service.num_tables,
+                "per_strategy": service_stats.summary(),
+                "tables_added": service_stats.tables_added,
+                "tables_removed": service_stats.tables_removed,
+                "invalidations": service_stats.invalidations,
+                "worker_queries": service_stats.worker_queries,
+                "worker_fallbacks": service_stats.worker_fallbacks,
+                "worker_fallback_reason": self.service.worker_fallback_reason,
+            },
+        }
+        return 200, body
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Routes requests into the owning :class:`ChartSearchServer`."""
+
+    #: Injected per server instance (``type(..., {"owner": self})``).
+    owner: ChartSearchServer
+
+    server_version = "repro-serving/1"
+    protocol_version = "HTTP/1.1"
+    #: Idle keep-alive connections give up after this, so drained servers
+    #: do not accumulate parked handler threads.
+    timeout = 30.0
+
+    # Quiet by default: the serving metrics are the observable surface.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _send_json(
+        self,
+        status: int,
+        body: Dict,
+        extra_headers: Optional[List[Tuple[str, str]]] = None,
+    ) -> None:
+        data = json.dumps(body).encode("utf-8")
+        self.send_response(int(status))
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            # Tell HTTP/1.1 clients the truth when an early rejection left
+            # the request body unread and the connection must go down.
+            self.send_header("Connection", "close")
+        for name, value in extra_headers or []:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json_body(self) -> object:
+        length_header = self.headers.get("Content-Length")
+        if length_header is None:
+            raise ProtocolError("Content-Length is required", status=411)
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError("invalid Content-Length", status=400) from None
+        if length > self.owner.config.max_body_bytes:
+            # Refuse before reading; the unread body makes the connection
+            # unusable for keep-alive, so close it.
+            self.close_connection = True
+            raise ProtocolError(
+                f"request body of {length} bytes exceeds the "
+                f"{self.owner.config.max_body_bytes}-byte limit",
+                status=413,
+            )
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ProtocolError("empty request body")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"malformed JSON body: {exc}") from exc
+
+    def _route(self, method: str):
+        """Resolve ``(endpoint_label, thunk, needs_admission)`` or raise."""
+        owner = self.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if method == "GET" and path == "/healthz":
+            return "GET /healthz", owner.handle_healthz, False
+        if method == "GET" and path == "/metrics":
+            return "GET /metrics", owner.handle_metrics, False
+        if method == "GET" and path == "/tables":
+            return "GET /tables", owner.handle_list_tables, True
+        # Bodies are read inside the thunk: after admission (a rejected
+        # request never pays the read) and under the endpoint's own metrics
+        # label (a malformed /query body is a `POST /query` 400).
+        if method == "POST" and path == "/query":
+            return (
+                "POST /query",
+                lambda: owner.handle_query(self._read_json_body()),
+                True,
+            )
+        if method == "POST" and path == "/tables":
+            return (
+                "POST /tables",
+                lambda: owner.handle_add_tables(self._read_json_body()),
+                True,
+            )
+        if method == "POST" and path == "/snapshot":
+            return (
+                "POST /snapshot",
+                lambda: owner.handle_snapshot(
+                    self._read_json_body()
+                    if self.headers.get("Content-Length") not in (None, "0")
+                    else None
+                ),
+                True,
+            )
+        if method == "DELETE" and path.startswith("/tables/"):
+            table_id = path[len("/tables/") :]
+            return (
+                "DELETE /tables/<id>",
+                lambda: owner.handle_remove_table(table_id),
+                True,
+            )
+        known_paths = {"/healthz", "/metrics", "/tables", "/query", "/snapshot"}
+        if path in known_paths or path.startswith("/tables/"):
+            raise ProtocolError(
+                f"method {method} not allowed on {path}", status=405
+            )
+        raise ProtocolError(f"unknown path {path}", status=404)
+
+    def _dispatch(self, method: str) -> None:
+        owner = self.owner
+        # Unrouted requests share one metrics label: arbitrary client paths
+        # must not grow the per-endpoint registry without bound.
+        endpoint = f"{method} <unrouted>"
+        start = time.perf_counter()
+        status = 500
+        owner._enter_request()
+        try:
+            try:
+                endpoint, thunk, needs_admission = self._route(method)
+            except ProtocolError as exc:
+                status = exc.status
+                self._send_json(status, {"error": str(exc)})
+                return
+            if needs_admission:
+                if owner.draining:
+                    # The request body was never read: the connection is
+                    # not reusable, close it after answering.
+                    status = 503
+                    self.close_connection = True
+                    self._send_json(
+                        status, {"error": "server is draining; not admitting"}
+                    )
+                    return
+                if not owner._admission.acquire(blocking=False):
+                    status = 429
+                    self.close_connection = True
+                    retry_after = str(
+                        int(math.ceil(owner.config.retry_after_seconds))
+                    )
+                    self._send_json(
+                        status,
+                        {
+                            "error": (
+                                "server saturated: "
+                                f"{owner.config.max_inflight} requests already "
+                                "in flight; retry shortly"
+                            ),
+                            "max_inflight": owner.config.max_inflight,
+                        },
+                        extra_headers=[("Retry-After", retry_after)],
+                    )
+                    return
+                try:
+                    status, body = thunk()
+                finally:
+                    owner._admission.release()
+            else:
+                status, body = thunk()
+            self._send_json(status, body)
+        except ProtocolError as exc:
+            status = exc.status
+            self._send_json(status, {"error": str(exc)})
+        except (BrokenPipeError, ConnectionResetError):
+            status = 499  # client went away; nothing to send
+            self.close_connection = True
+        except Exception as exc:  # a genuine server-side defect
+            status = 500
+            try:
+                self._send_json(
+                    status, {"error": f"{type(exc).__name__}: {exc}"}
+                )
+            except OSError:
+                self.close_connection = True
+        finally:
+            owner.metrics.observe(
+                endpoint, status, time.perf_counter() - start
+            )
+            owner._exit_request()
+
+    # ------------------------------------------------------------------ #
+    # HTTP verbs
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")

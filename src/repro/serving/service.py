@@ -54,6 +54,14 @@ from .persistence import (
 from .sharding import ShardBuildReport, encode_tables_sharded
 from .workers import QueryWorkerPool, split_shards
 
+#: The sticky fallback reason recorded by :meth:`SearchService.close`:
+#: queries after ``close()`` serve in-process instead of silently
+#: respawning a worker pool; :meth:`SearchService.reset_query_pool` re-arms.
+CLOSED_FALLBACK_REASON = (
+    "service closed (SearchService.close()); queries serve in-process — "
+    "call reset_query_pool() to re-arm the worker pool"
+)
+
 
 @dataclass
 class ServingConfig:
@@ -85,10 +93,12 @@ class ServingConfig:
         back in-process (sticky — see :meth:`SearchService.reset_query_pool`).
         ``0`` (default) and ``1`` verify in-process.
     worker_timeout:
-        Optional per-operation wall-clock guard (seconds) for the query
-        worker pool (sync broadcast or per-query scatter/gather); on expiry
-        the query is re-verified in-process and the pool is retired.
-        ``None`` waits indefinitely.
+        Per-operation wall-clock guard (seconds) for the query worker pool —
+        the start handshake, a sync broadcast and each per-query
+        scatter/gather all honour it; on expiry the query is re-verified
+        in-process and the pool is retired.  Defaults to ``30.0`` so a
+        wedged worker can never block a query forever; ``None`` (explicit
+        opt-in) waits indefinitely.
     build_timeout:
         Optional wall-clock guard (seconds) for a sharded build; on expiry
         the build falls back to the in-process encode.
@@ -106,7 +116,7 @@ class ServingConfig:
     num_workers: int = 1
     num_query_shards: int = 1
     query_workers: int = 0
-    worker_timeout: Optional[float] = None
+    worker_timeout: Optional[float] = 30.0
     build_timeout: Optional[float] = None
     dtype: Optional[str] = None
 
@@ -117,6 +127,10 @@ class ServingConfig:
             raise ValueError("num_query_shards must be >= 1")
         if self.query_workers < 0:
             raise ValueError("query_workers must be >= 0")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive (or None)")
+        if self.build_timeout is not None and self.build_timeout <= 0:
+            raise ValueError("build_timeout must be positive (or None)")
         if self.dtype is not None:
             from ..nn import resolve_dtype
 
@@ -289,7 +303,11 @@ class SearchService:
             return None
         if self._query_pool is None:
             try:
-                pool = QueryWorkerPool(self.model, self.config.query_workers)
+                pool = QueryWorkerPool(
+                    self.model,
+                    self.config.query_workers,
+                    start_timeout=self.config.worker_timeout,
+                )
                 pool.start()
             except Exception as exc:  # degrade, never fail the query
                 self._retire_query_pool(f"{type(exc).__name__}: {exc}")
@@ -313,6 +331,8 @@ class SearchService:
         The fallback is sticky by design — a broken pool should not add a
         spawn attempt to every query's latency — so an operator (or a test)
         that has fixed the underlying condition opts back in explicitly.
+        This is also the only way to re-arm a service after
+        :meth:`close` (the closed state is just another sticky reason).
         """
         self.worker_fallback_reason = None
 
@@ -362,12 +382,25 @@ class SearchService:
         return scores
 
     def close(self) -> None:
-        """Release the query worker pool (idempotent; safe without one)."""
+        """Release the query worker pool and seal the service against respawns.
+
+        Idempotent and safe without a pool.  Closing does **not** stop the
+        service from answering: subsequent queries are served in-process —
+        but the closed state is explicit, recorded as a sticky fallback
+        reason (:data:`CLOSED_FALLBACK_REASON`), so a query arriving after
+        ``close()`` (or after the context manager exits) can never silently
+        respawn a whole worker pool and leak processes.
+        :meth:`reset_query_pool` is the one way to re-arm the pool on a
+        service being brought back into use.
+        """
         if self._query_pool is not None:
             self._query_pool.close()
             self._query_pool = None
         self._pool_table_ids = set()
         self._pool_removed_ids = set()
+        if self.config.query_workers >= 2 and self.worker_fallback_reason is None:
+            # Not counted in stats.worker_fallbacks: nothing failed.
+            self.worker_fallback_reason = CLOSED_FALLBACK_REASON
 
     def __enter__(self) -> "SearchService":
         return self

@@ -107,7 +107,21 @@ class WorkerPoolStats:
 
 
 def split_shards(ids: Sequence[str], num_shards: int) -> List[List[str]]:
-    """Split candidate ids into ``num_shards`` contiguous, near-equal shards."""
+    """Split candidate ids into at most ``num_shards`` contiguous shards.
+
+    Edge cases are part of the contract (``tests/test_serving.py`` pins
+    them): fewer ids than shards yields one *singleton* shard per id —
+    never an empty shard, so nothing useless is ever shipped over a worker
+    pipe (:meth:`QueryWorkerPool.score` additionally drops empties defence
+    in depth); an empty id list yields no shards at all.  A non-positive
+    ``num_shards`` is a caller bug — e.g. a ``ServingConfig`` mutated after
+    its ``__post_init__`` validation ran — and raises :class:`ValueError`
+    loudly instead of silently collapsing the fan-out into one shard (the
+    serving layer catches it like any other pool failure and verifies
+    in-process).
+    """
+    if int(num_shards) < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
     return chunk_evenly(list(ids), num_shards)
 
 

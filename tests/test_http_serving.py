@@ -1,0 +1,667 @@
+"""Tests for ``repro.serving.http``: the HTTP front-end over ``SearchService``.
+
+Everything here talks to a **live socket** — a real :class:`ChartSearchServer`
+bound to an ephemeral loopback port — because the properties under test are
+exactly the ones a mock would fake: admission control answering 429 while a
+request is genuinely in flight, a drain completing an accepted request while
+refusing new ones, and wire-level details (``Retry-After``, ``Connection:
+close``, 411/413 before the body is read).
+
+The load-bearing acceptance property: a ranking fetched over ``POST /query``
+is **byte-identical** (same ids, bit-exact scores after the JSON round-trip)
+to :meth:`repro.serving.SearchService.query` on the same service.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.charts import render_chart_for_table
+from repro.fcm import FCMModel
+from repro.index import LSHConfig
+from repro.serving import (
+    ChartSearchServer,
+    HTTPServingConfig,
+    SearchService,
+    ServingConfig,
+)
+from repro.serving.http import (
+    ProtocolError,
+    chart_payload_from_series,
+    parse_snapshot_payload,
+    table_payload_from_table,
+)
+
+STRATEGIES = ("none", "interval", "lsh", "hybrid")
+
+
+# --------------------------------------------------------------------------- #
+# A minimal HTTP client (stdlib; one connection per request)
+# --------------------------------------------------------------------------- #
+def _request(server, method, path, body=None, raw=None, timeout=30.0):
+    """One request → ``(status, parsed_json_or_None, headers_dict)``."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=timeout)
+    try:
+        if raw is not None:
+            data = raw
+        elif body is not None:
+            data = json.dumps(body).encode("utf-8")
+        else:
+            data = None
+        headers = {"Content-Type": "application/json"} if data else {}
+        conn.request(method, path, body=data, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        return (
+            response.status,
+            json.loads(payload) if payload else None,
+            dict(response.getheaders()),
+        )
+    finally:
+        conn.close()
+
+
+def _get(server, path):
+    return _request(server, "GET", path)
+
+
+def _post(server, path, body=None, raw=None):
+    return _request(server, "POST", path, body=body, raw=raw)
+
+
+def _bare_request(server, method, path, headers=()):
+    """A hand-rolled request (no automatic Content-Length) for 411/413."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=10)
+    try:
+        conn.putrequest(method, path)
+        for name, value in headers:
+            conn.putheader(name, value)
+        conn.endheaders()
+        response = conn.getresponse()
+        payload = response.read()
+        return (
+            response.status,
+            json.loads(payload) if payload else None,
+            dict(response.getheaders()),
+        )
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Shared fixtures: one server over a small built index
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def http_model(tiny_fcm_config):
+    return FCMModel(tiny_fcm_config)
+
+
+@pytest.fixture(scope="module")
+def http_service(http_model, small_records):
+    service = SearchService(
+        http_model,
+        ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+    )
+    service.build([record.table for record in small_records[:8]])
+    return service
+
+
+@pytest.fixture(scope="module")
+def server(http_service):
+    server = ChartSearchServer(
+        http_service, HTTPServingConfig(port=0, close_service=False)
+    ).start()
+    yield server
+    server.close()
+
+
+@pytest.fixture(scope="module")
+def query_cases(small_records, tiny_fcm_config):
+    """``(payload, chart)`` pairs: the wire form and the in-process form."""
+    cases = []
+    for record in small_records[:3]:
+        data = record.table.to_underlying_data(
+            list(record.spec.y_columns), x_column=record.spec.x_column
+        )
+        chart = render_chart_for_table(
+            record.table,
+            list(record.spec.y_columns),
+            x_column=record.spec.x_column,
+            spec=tiny_fcm_config.chart_spec,
+        )
+        cases.append((chart_payload_from_series(data.series), chart))
+    return cases
+
+
+def _slow_service(tiny_fcm_config, records, gate, entered):
+    """A tiny service whose ``query`` blocks on ``gate`` (admission tests)."""
+    service = SearchService(
+        FCMModel(tiny_fcm_config),
+        ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+    )
+    service.build([record.table for record in records])
+    original = service.query
+
+    def blocking_query(chart, k, strategy="hybrid"):
+        entered.set()
+        assert gate.wait(timeout=30.0), "test gate never released"
+        return original(chart, k, strategy=strategy)
+
+    service.query = blocking_query
+    return service
+
+
+# --------------------------------------------------------------------------- #
+# POST /query: parity with the in-process service
+# --------------------------------------------------------------------------- #
+class TestQueryParity:
+    def test_rankings_byte_identical_to_in_process(
+        self, server, http_service, query_cases
+    ):
+        """The acceptance bar: HTTP results equal SearchService.query bit-for-bit.
+
+        Python's JSON encoder emits floats via ``repr`` and the decoder
+        round-trips them exactly, so straight ``==`` on the scores is the
+        right comparison — no tolerance.
+        """
+        for payload, chart in query_cases:
+            for strategy in STRATEGIES:
+                status, body, _ = _post(
+                    server,
+                    "/query",
+                    {"chart": payload, "k": 5, "strategy": strategy},
+                )
+                assert status == 200
+                expected = http_service.query(chart, 5, strategy=strategy)
+                assert body["ranking"] == [
+                    [table_id, float(score)]
+                    for table_id, score in expected.ranking
+                ]
+                assert body["candidates"] == expected.candidates
+                assert body["total_tables"] == expected.total_tables
+                assert body["strategy"] == strategy
+                assert body["k"] == 5
+
+    def test_server_side_render_matches_service_cache(
+        self, server, http_service, query_cases
+    ):
+        """Equal payloads hit the service's content-addressed result cache:
+        the server renders the posted series under the *service's* chart
+        spec, so the fingerprint matches the in-process render exactly."""
+        payload, chart = query_cases[0]
+        _post(server, "/query", {"chart": payload, "k": 4})
+        hits_before = http_service.stats.per_strategy["hybrid"].cache_hits
+        status, _, _ = _post(server, "/query", {"chart": payload, "k": 4})
+        assert status == 200
+        assert (
+            http_service.stats.per_strategy["hybrid"].cache_hits
+            == hits_before + 1
+        )
+
+    def test_strategy_defaults_to_hybrid(self, server, query_cases):
+        payload, _ = query_cases[0]
+        status, body, _ = _post(server, "/query", {"chart": payload, "k": 2})
+        assert status == 200
+        assert body["strategy"] == "hybrid"
+        assert len(body["ranking"]) == 2
+
+    def test_empty_index_answers_empty_ranking(self, tiny_fcm_config):
+        service = SearchService(
+            FCMModel(tiny_fcm_config),
+            ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+        )
+        with ChartSearchServer(service, HTTPServingConfig(port=0)) as server:
+            status, body, _ = _post(
+                server,
+                "/query",
+                {"chart": {"series": [{"y": [1.0, 2.0, 3.0]}]}, "k": 3},
+            )
+            assert status == 200
+            assert body["ranking"] == []
+            assert body["total_tables"] == 0
+
+
+# --------------------------------------------------------------------------- #
+# POST /query: structured 4xx errors (never hangs, never 5xx)
+# --------------------------------------------------------------------------- #
+class TestQueryValidation:
+    def test_malformed_json_is_400(self, server):
+        status, body, _ = _post(server, "/query", raw=b"{not json")
+        assert status == 400
+        assert "malformed JSON" in body["error"]
+
+    def test_non_object_body_is_400(self, server):
+        status, body, _ = _post(server, "/query", body=[1, 2, 3])
+        assert status == 400
+        assert "JSON object" in body["error"]
+
+    @pytest.mark.parametrize("k", [0, -3, 1.5, "5", True, None])
+    def test_bad_k_is_400(self, server, query_cases, k):
+        payload, _ = query_cases[0]
+        status, body, _ = _post(
+            server, "/query", {"chart": payload, "k": k}
+        )
+        assert status == 400
+        assert "k" in body["error"]
+
+    def test_missing_k_is_400(self, server, query_cases):
+        status, body, _ = _post(server, "/query", {"chart": query_cases[0][0]})
+        assert status == 400
+        assert "'k'" in body["error"]
+
+    def test_unknown_strategy_is_400(self, server, query_cases):
+        status, body, _ = _post(
+            server,
+            "/query",
+            {"chart": query_cases[0][0], "k": 3, "strategy": "quantum"},
+        )
+        assert status == 400
+        assert "quantum" in body["error"]
+        assert "hybrid" in body["error"]  # the allowed list is in the message
+
+    def test_client_supplied_spec_is_rejected(self, server):
+        status, body, _ = _post(
+            server,
+            "/query",
+            {
+                "chart": {"series": [{"y": [1.0, 2.0]}], "spec": {"width": 9}},
+                "k": 3,
+            },
+        )
+        assert status == 400
+        assert "geometry" in body["error"]
+
+    @pytest.mark.parametrize(
+        "series",
+        [
+            [],
+            [{"y": []}],
+            [{"y": ["a", "b"]}],
+            [{"y": [[1.0], [2.0]]}],
+            [{"y": [1.0, 2.0], "x": [1.0]}],  # length mismatch
+            [{"y": [1.0, 2.0], "colour": "red"}],  # unknown key
+        ],
+    )
+    def test_bad_series_is_400(self, server, series):
+        status, body, _ = _post(
+            server, "/query", {"chart": {"series": series}, "k": 3}
+        )
+        assert status == 400
+        assert "series" in body["error"]
+
+    def test_non_finite_values_are_400(self, server):
+        # json.dumps(allow_nan=True) emits bare NaN, which the server-side
+        # json.loads accepts as float('nan') — the finite check must catch it.
+        raw = b'{"chart": {"series": [{"y": [NaN, 1.0]}]}, "k": 3}'
+        status, body, _ = _post(server, "/query", raw=raw)
+        assert status == 400
+        assert "finite" in body["error"]
+
+    def test_empty_body_is_400(self, server):
+        status, body, _ = _post(server, "/query", raw=b"")
+        assert status == 400
+        assert "empty" in body["error"]
+
+
+# --------------------------------------------------------------------------- #
+# Transport-level refusals: routes, methods, body sizes
+# --------------------------------------------------------------------------- #
+class TestTransportErrors:
+    def test_unknown_path_is_404(self, server):
+        status, body, _ = _get(server, "/nope")
+        assert status == 404
+        assert "unknown path" in body["error"]
+
+    def test_wrong_method_on_known_path_is_405(self, server):
+        for method, path in [
+            ("GET", "/query"),
+            ("DELETE", "/query"),
+            ("POST", "/healthz"),
+            ("DELETE", "/metrics"),
+        ]:
+            status, body, _ = _request(server, method, path)
+            assert status == 405, (method, path)
+            assert "not allowed" in body["error"]
+
+    def test_missing_content_length_is_411(self, server):
+        status, body, _ = _bare_request(server, "POST", "/query")
+        assert status == 411
+        assert "Content-Length" in body["error"]
+
+    def test_oversized_body_refused_with_413_before_read(self, server):
+        # Declare a huge body but never send it: the server must answer from
+        # the headers alone and mark the (now unusable) connection closed.
+        declared = server.config.max_body_bytes + 1
+        status, body, headers = _bare_request(
+            server, "POST", "/query",
+            headers=[("Content-Length", str(declared))],
+        )
+        assert status == 413
+        assert "exceeds" in body["error"]
+        assert headers.get("Connection") == "close"
+
+    def test_trailing_slash_routes_like_bare_path(self, server):
+        status, body, _ = _get(server, "/healthz/")
+        assert status == 200
+        assert body["status"] == "ok"
+
+
+# --------------------------------------------------------------------------- #
+# Index mutation over HTTP: /tables round trip
+# --------------------------------------------------------------------------- #
+class TestTablesEndpoints:
+    def test_add_list_query_delete_round_trip(
+        self, server, http_service, small_records, tiny_fcm_config
+    ):
+        extra = small_records[8].table
+        payload = table_payload_from_table(extra)
+        before = http_service.num_tables
+
+        status, body, _ = _post(server, "/tables", {"tables": [payload]})
+        assert status == 200
+        assert body["added"] == [extra.table_id]
+        assert body["already_indexed"] == []
+        assert body["num_tables"] == before + 1
+
+        status, body, _ = _get(server, "/tables")
+        assert status == 200
+        assert extra.table_id in body["table_ids"]
+        assert body["num_tables"] == before + 1
+
+        # The new table is immediately queryable: a full ranking (k covers
+        # the whole index) must include it.
+        chart_payload = chart_payload_from_series(
+            extra.to_underlying_data(
+                [c.name for c in extra.columns if c.role == "y"],
+                x_column=next(
+                    (c.name for c in extra.columns if c.role == "x"), None
+                ),
+            ).series
+        )
+        status, body, _ = _post(
+            server, "/query", {"chart": chart_payload, "k": before + 1}
+        )
+        assert status == 200
+        assert extra.table_id in [table_id for table_id, _ in body["ranking"]]
+
+        status, body, _ = _request(
+            server, "DELETE", f"/tables/{extra.table_id}"
+        )
+        assert status == 200
+        assert body["removed"] == extra.table_id
+        assert body["num_tables"] == before
+
+    def test_re_adding_known_table_reports_already_indexed(
+        self, server, http_service, small_records
+    ):
+        known = http_service.table_ids[0]
+        record = next(
+            r for r in small_records if r.table.table_id == known
+        )
+        status, body, _ = _post(
+            server,
+            "/tables",
+            {"tables": [table_payload_from_table(record.table)]},
+        )
+        assert status == 200
+        assert body["added"] == []
+        assert body["already_indexed"] == [known]
+
+    def test_delete_unknown_table_is_404(self, server):
+        status, body, _ = _request(server, "DELETE", "/tables/ghost")
+        assert status == 404
+        assert "ghost" in body["error"]
+
+    def test_duplicate_ids_in_one_request_are_400(self, server, small_records):
+        payload = table_payload_from_table(small_records[9].table)
+        status, body, _ = _post(
+            server, "/tables", {"tables": [payload, payload]}
+        )
+        assert status == 400
+        assert "duplicate" in body["error"]
+
+    def test_malformed_table_is_400(self, server):
+        status, body, _ = _post(
+            server,
+            "/tables",
+            {"tables": [{"table_id": "t", "columns": [{"name": "c"}]}]},
+        )
+        assert status == 400
+        assert "values" in body["error"]
+
+
+# --------------------------------------------------------------------------- #
+# POST /snapshot
+# --------------------------------------------------------------------------- #
+class TestSnapshotEndpoint:
+    def test_snapshot_writes_a_loadable_index(
+        self, server, http_service, tiny_fcm_config, tmp_path
+    ):
+        target = tmp_path / "http_index.npz"
+        status, body, _ = _post(server, "/snapshot", {"path": str(target)})
+        assert status == 200
+        assert body["path"] == str(target)
+        assert body["num_tables"] == http_service.num_tables
+        assert target.exists()
+
+        restored = SearchService.load_index(FCMModel(tiny_fcm_config), target)
+        assert sorted(restored.table_ids) == sorted(http_service.table_ids)
+
+    def test_snapshot_without_path_or_default_is_400(self, server):
+        status, body, _ = _post(server, "/snapshot", {})
+        assert status == 400
+        assert "snapshot path" in body["error"]
+
+    def test_parse_snapshot_payload_validates_append_flag(self):
+        assert parse_snapshot_payload(None, "/tmp/x.npz") == ("/tmp/x.npz", False)
+        assert parse_snapshot_payload(
+            {"path": "a.npz", "append": True}, None
+        ) == ("a.npz", True)
+        with pytest.raises(ProtocolError):
+            parse_snapshot_payload({"append": "yes", "path": "a.npz"}, None)
+
+
+# --------------------------------------------------------------------------- #
+# /healthz and /metrics
+# --------------------------------------------------------------------------- #
+class TestObservability:
+    def test_healthz_reports_live_state(self, server, http_service):
+        status, body, _ = _get(server, "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["num_tables"] == http_service.num_tables
+
+    def test_metrics_exports_endpoint_and_service_stats(self, server):
+        _get(server, "/healthz")  # guarantee at least one observed request
+        status, body, _ = _get(server, "/metrics")
+        assert status == 200
+        assert body["uptime_seconds"] >= 0
+        endpoint = body["endpoints"]["GET /healthz"]
+        assert endpoint["requests"] >= 1
+        assert endpoint["status_counts"]["200"] >= 1
+        for key in ("mean", "max", "p50", "p95", "p99"):
+            assert key in endpoint["latency_ms"]
+        assert body["admission"]["max_inflight"] == server.config.max_inflight
+        assert body["service"]["num_tables"] >= 1
+        assert "hybrid" in body["service"]["per_strategy"]
+
+    def test_validation_failures_are_counted_under_their_endpoint(
+        self, server
+    ):
+        _post(server, "/query", raw=b"{broken")
+        _, body, _ = _get(server, "/metrics")
+        assert body["endpoints"]["POST /query"]["status_counts"]["400"] >= 1
+
+
+# --------------------------------------------------------------------------- #
+# Admission control: saturation answers 429, never hangs or 5xx
+# --------------------------------------------------------------------------- #
+class TestAdmissionControl:
+    def test_saturated_server_answers_429_with_retry_after(
+        self, tiny_fcm_config, small_records, query_cases
+    ):
+        gate, entered = threading.Event(), threading.Event()
+        service = _slow_service(
+            tiny_fcm_config, small_records[:3], gate, entered
+        )
+        server = ChartSearchServer(
+            service,
+            HTTPServingConfig(port=0, max_inflight=1, retry_after_seconds=2.0),
+        ).start()
+        payload, _ = query_cases[0]
+        first_result = {}
+
+        def first_request():
+            first_result["response"] = _post(
+                server, "/query", {"chart": payload, "k": 3}
+            )
+
+        thread = threading.Thread(target=first_request)
+        try:
+            thread.start()
+            assert entered.wait(timeout=30.0), "first query never started"
+
+            # The slot is held: an over-admission request is rejected fast.
+            start = time.perf_counter()
+            status, body, headers = _post(
+                server, "/query", {"chart": payload, "k": 3}
+            )
+            elapsed = time.perf_counter() - start
+            assert status == 429
+            assert "saturated" in body["error"]
+            assert headers.get("Retry-After") == "2"
+            assert headers.get("Connection") == "close"
+            assert elapsed < 5.0  # rejected, not queued behind the slow query
+
+            # The operator's view bypasses admission even when saturated.
+            status, body, _ = _get(server, "/healthz")
+            assert status == 200
+
+            gate.set()
+            thread.join(timeout=30.0)
+            assert first_result["response"][0] == 200  # the admitted one won
+
+            _, metrics, _ = _get(server, "/metrics")
+            assert metrics["admission"]["rejected_429"] == 1
+            assert (
+                metrics["endpoints"]["POST /query"]["status_counts"]["429"] == 1
+            )
+        finally:
+            gate.set()
+            thread.join(timeout=10.0)
+            server.close()
+
+    def test_released_slot_admits_again(self, tiny_fcm_config, query_cases):
+        service = SearchService(
+            FCMModel(tiny_fcm_config),
+            ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+        )
+        server = ChartSearchServer(
+            service, HTTPServingConfig(port=0, max_inflight=1)
+        ).start()
+        try:
+            payload, _ = query_cases[0]
+            for _ in range(3):  # sequential requests each reuse the one slot
+                status, _, _ = _post(server, "/query", {"chart": payload, "k": 1})
+                assert status == 200
+        finally:
+            server.close()
+
+
+# --------------------------------------------------------------------------- #
+# Graceful drain: in-flight completes, new work refused, listener dies
+# --------------------------------------------------------------------------- #
+class TestGracefulDrain:
+    def test_drain_completes_inflight_then_refuses_connections(
+        self, tiny_fcm_config, small_records, query_cases
+    ):
+        gate, entered = threading.Event(), threading.Event()
+        service = _slow_service(
+            tiny_fcm_config, small_records[:3], gate, entered
+        )
+        server = ChartSearchServer(
+            service, HTTPServingConfig(port=0, drain_timeout=30.0)
+        ).start()
+        payload, _ = query_cases[0]
+        inflight_result, closer = {}, None
+
+        def inflight_request():
+            inflight_result["response"] = _post(
+                server, "/query", {"chart": payload, "k": 3}
+            )
+
+        requester = threading.Thread(target=inflight_request)
+        try:
+            requester.start()
+            assert entered.wait(timeout=30.0)
+
+            closer = threading.Thread(target=server.close)
+            closer.start()
+            deadline = time.monotonic() + 10.0
+            while not server.draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert server.draining
+
+            # Mid-drain: still listening, but not admitting.
+            status, body, _ = _post(server, "/query", {"chart": payload, "k": 3})
+            assert status == 503
+            assert "draining" in body["error"]
+            status, body, _ = _get(server, "/healthz")
+            assert status == 503
+            assert body["status"] == "draining"
+
+            # Release the in-flight request: it was admitted before the
+            # drain began, so it must complete with a real answer.
+            gate.set()
+            requester.join(timeout=30.0)
+            assert inflight_result["response"][0] == 200
+            assert inflight_result["response"][1]["ranking"]  # a real answer
+
+            closer.join(timeout=30.0)
+            assert not closer.is_alive()
+
+            # Fully drained: the listener is gone.
+            with pytest.raises(ConnectionRefusedError):
+                _get(server, "/healthz")
+        finally:
+            gate.set()
+            requester.join(timeout=10.0)
+            if closer is not None:
+                closer.join(timeout=10.0)
+            server.close()
+
+    def test_close_is_idempotent_and_start_after_close_refused(
+        self, tiny_fcm_config
+    ):
+        service = SearchService(
+            FCMModel(tiny_fcm_config),
+            ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+        )
+        server = ChartSearchServer(service, HTTPServingConfig(port=0)).start()
+        server.close()
+        server.close()  # no-op
+        with pytest.raises(RuntimeError, match="closed"):
+            server.start()
+
+
+# --------------------------------------------------------------------------- #
+# Config validation
+# --------------------------------------------------------------------------- #
+class TestHTTPServingConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"retry_after_seconds": 0.0},
+            {"max_body_bytes": 0},
+            {"drain_timeout": -1.0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HTTPServingConfig(**kwargs)

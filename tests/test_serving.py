@@ -22,6 +22,7 @@ from repro.fcm import FCMModel, FCMScorer
 from repro.index import Interval, IntervalTree, LSHConfig, RandomHyperplaneLSH
 from repro.nn import using_dtype
 from repro.serving import (
+    CLOSED_FALLBACK_REASON,
     QueryWorkerPool,
     SearchService,
     ServingConfig,
@@ -853,3 +854,201 @@ class TestSnapshotSegments:
         service.add_tables(serving_tables[4:5])
         with pytest.raises(ValueError, match="single-precision"):
             service.save_index(base, append=True)
+
+
+# --------------------------------------------------------------------------- #
+# Failure-path hardening: finite timeouts, explicit closed state, shard edges
+# --------------------------------------------------------------------------- #
+class _ScriptedConn:
+    """A fake worker pipe: records sends, answers ``score`` from a table.
+
+    Lets the scatter/gather protocol be exercised without spawning processes
+    (this container cannot), which is exactly what the empty-shard edge
+    needs: the assertion is about what goes *over the pipe*.
+    """
+
+    def __init__(self):
+        self.sent = []
+        self._replies = []
+
+    def send(self, message):
+        self.sent.append(message)
+        if message[0] == "score":
+            _, _, shard = message
+            self._replies.append(("scores", {tid: 0.0 for tid in shard}))
+
+    def poll(self, timeout=None):
+        return bool(self._replies)
+
+    def recv(self):
+        return self._replies.pop(0)
+
+    def close(self):
+        pass
+
+
+class TestFailurePathHardening:
+    def test_worker_timeout_defaults_finite(self):
+        """The regression under test: a wedged worker must never be able to
+        block a query forever, so the default guard is finite, not None."""
+        config = ServingConfig()
+        assert config.worker_timeout == 30.0
+        assert ServingConfig(worker_timeout=None).worker_timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"worker_timeout": 0.0},
+            {"worker_timeout": -5.0},
+            {"build_timeout": 0.0},
+            {"build_timeout": -1.0},
+            {"num_query_shards": 0},
+            {"num_query_shards": -2},
+        ],
+    )
+    def test_nonpositive_guards_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            ServingConfig(**kwargs)
+
+    def test_split_shards_rejects_nonpositive_counts(self):
+        for bad in (0, -1, -99):
+            with pytest.raises(ValueError, match="num_shards"):
+                split_shards(["a", "b"], bad)
+
+    def test_split_shards_never_produces_empty_shards(self):
+        """Fewer candidates than workers: singleton shards, nothing empty."""
+        for num_ids in (1, 2, 3, 5, 8):
+            ids = [f"t{i}" for i in range(num_ids)]
+            for num_shards in range(1, 10):
+                shards = split_shards(ids, num_shards)
+                assert [tid for shard in shards for tid in shard] == ids
+                assert all(shard for shard in shards)
+                assert len(shards) == min(num_ids, num_shards)
+        assert split_shards([], 4) == []
+
+    def test_pool_score_filters_empty_shards_before_the_pipe(
+        self, serving_model
+    ):
+        pool = QueryWorkerPool(serving_model, num_workers=2)
+        conns = [_ScriptedConn(), _ScriptedConn()]
+        pool._connections = list(conns)
+        pool._processes = [object(), object()]  # satisfies _require_started
+        try:
+            scores = pool.score(None, [[], ["a", "b"], []], timeout=1.0)
+            assert scores == {"a": 0.0, "b": 0.0}
+            messages = [m for conn in conns for m in conn.sent]
+            assert messages == [("score", None, ["a", "b"])]
+
+            # All-empty scatter: answered locally, nothing sent at all.
+            assert pool.score(None, [[], []], timeout=1.0) == {}
+            assert sum(len(c.sent) for c in conns) == 1
+        finally:
+            pool._connections = []
+            pool._processes = []
+
+    def test_stalled_worker_times_out_and_falls_back(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """A wedged worker costs one ``worker_timeout``, never a hang: the
+        query re-verifies in-process and the pool is retired (sticky)."""
+        import multiprocessing
+
+        pooled = _pooled_service(serving_model, worker_timeout=1.0)
+        reference = _make_service(FCMModel(serving_model.config))
+        stall_parent, stall_child = multiprocessing.Pipe()
+        try:
+            pooled.build(serving_tables[:5])
+            reference.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            # Wedge worker 0: its pipe is swapped for one nobody answers.
+            real_conn = pooled.query_pool._connections[0]
+            pooled.query_pool._connections[0] = stall_parent
+            start = __import__("time").perf_counter()
+            result = pooled.query(query_charts[1], k=5)  # uncached
+            elapsed = __import__("time").perf_counter() - start
+            real_conn.close()
+
+            assert elapsed < 20.0  # 1s guard + in-process re-verify, no hang
+            assert pooled.worker_fallback_reason is not None
+            assert "timed out" in pooled.worker_fallback_reason
+            assert pooled.query_pool is None
+            assert pooled.stats.worker_fallbacks == 1
+            _assert_rankings_match(result, reference.query(query_charts[1], k=5))
+        finally:
+            stall_child.close()
+            pooled.close()
+
+    def test_close_then_query_serves_in_process_without_respawn(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """The regression under test: ``close()`` used to leave the service
+        armed, so the next query silently respawned a whole worker pool."""
+        pooled = _pooled_service(serving_model)
+        reference = _make_service(FCMModel(serving_model.config))
+        pooled.build(serving_tables[:5])
+        reference.build(serving_tables[:5])
+        pooled.query(query_charts[0], k=5)
+        pool_ran = pooled.worker_fallback_reason is None
+
+        pooled.close()
+        assert pooled.query_pool is None
+        if pool_ran:
+            assert pooled.worker_fallback_reason == CLOSED_FALLBACK_REASON
+        fallbacks_before = pooled.stats.worker_fallbacks
+
+        result = pooled.query(query_charts[1], k=5)  # uncached
+        assert pooled.query_pool is None  # served in-process, no respawn
+        # Closing is not a failure: the fallback counter must not move.
+        assert pooled.stats.worker_fallbacks == fallbacks_before
+        _assert_rankings_match(result, reference.query(query_charts[1], k=5))
+
+        # reset_query_pool() is the explicit opt back in.
+        pooled.reset_query_pool()
+        assert pooled.worker_fallback_reason is None
+        try:
+            retried = pooled.query(query_charts[2], k=5)
+            _assert_rankings_match(
+                retried, reference.query(query_charts[2], k=5)
+            )
+        finally:
+            pooled.close()
+
+    def test_context_manager_exit_seals_the_service(
+        self, serving_model, serving_tables, query_charts
+    ):
+        with _pooled_service(serving_model) as pooled:
+            pooled.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            pool_ran = pooled.worker_fallback_reason is None
+        if pool_ran:
+            assert pooled.worker_fallback_reason == CLOSED_FALLBACK_REASON
+        assert pooled.query(query_charts[1], k=5).ranking
+        assert pooled.query_pool is None
+
+    def test_close_without_pool_config_records_no_reason(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """An in-process service's close() is a pure no-op: nothing to seal,
+        so no sticky reason appears in /metrics-style introspection."""
+        service = _make_service(serving_model)
+        service.build(serving_tables[:4])
+        service.close()
+        assert service.worker_fallback_reason is None
+        assert service.query(query_charts[0], k=3).ranking
+
+    def test_mutated_zero_shard_config_still_queries(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """Config mutated after construction (bypassing __post_init__) must
+        degrade to the clamped single-shard path, not crash the query."""
+        service = _make_service(serving_model)
+        service.build(serving_tables[:4])
+        service.config.num_query_shards = 0
+        reference = _make_service(FCMModel(serving_model.config))
+        reference.build(serving_tables[:4])
+        _assert_rankings_match(
+            service.query(query_charts[0], k=4),
+            reference.query(query_charts[0], k=4),
+        )
