@@ -34,6 +34,14 @@ from .corpus import (
 )
 from .repository import DataRepository
 from .split import CorpusSplit, SplitSizes, filter_line_chart_records, split_corpus
+from .synth import (
+    SynthConfig,
+    clustered_embeddings,
+    synth_query_charts,
+    synth_query_indices,
+    synth_table,
+    synth_tables,
+)
 from .table import DataSeries, Table, UnderlyingData
 
 __all__ = [
@@ -52,12 +60,14 @@ __all__ = [
     "LINE_COUNT_PROPORTIONS",
     "SHAPE_FAMILIES",
     "SplitSizes",
+    "SynthConfig",
     "Table",
     "UnderlyingData",
     "VisualizationSpec",
     "aggregate_values",
     "aggregated_length",
     "augment_table",
+    "clustered_embeddings",
     "corpus_statistics",
     "down_sample_table",
     "filter_line_chart_records",
@@ -70,5 +80,9 @@ __all__ = [
     "sample_aggregation_spec",
     "sample_num_lines",
     "split_corpus",
+    "synth_query_charts",
+    "synth_query_indices",
+    "synth_table",
+    "synth_tables",
     "window_bucket",
 ]

@@ -216,7 +216,11 @@ class FCMScorer:
 
         This is how the serving layer merges shard-worker outputs and
         restores snapshots without re-running the dataset encoder; the entry
-        is indistinguishable from one produced by :meth:`index_table`.
+        is indistinguishable from one produced by :meth:`index_table`.  The
+        arrays may be read-only views — e.g. zero-copy slices of a
+        memory-mapped v2 snapshot (:mod:`repro.serving.persistence`); every
+        scoring path only reads them (candidate gathers copy via fancy
+        indexing), so mapped entries behave exactly like heap copies.
         """
         self._encoded[encoded.table_id] = encoded
 
@@ -227,6 +231,19 @@ class FCMScorer:
     @property
     def indexed_table_ids(self) -> List[str]:
         return list(self._encoded.keys())
+
+    def cache_nbytes(self) -> int:
+        """Total bytes of the cached encoding arrays (reps + column embeddings).
+
+        Counts array payloads only (not Python-object overhead).  Note that
+        for memory-mapped entries this is the *mapped* size, not resident
+        memory: untouched pages cost address space, no RAM — which is the
+        point of ``ServingConfig(mmap_index=True)``.
+        """
+        return sum(
+            int(e.representations.nbytes) + int(e.column_embeddings.nbytes)
+            for e in self._encoded.values()
+        )
 
     def encoded_table(self, table_id: str) -> EncodedTable:
         if table_id not in self._encoded:

@@ -1,13 +1,39 @@
 """Index snapshots: save/load everything a restarted service needs.
 
-A snapshot is a **base** ``.npz`` archive, optionally followed by numbered
-**append-only segments** next to it.  The base holds, per indexed table, the
-cached dataset-encoder representations (the expensive part — the reason a
-restart should not re-encode anything), plus a JSON ``__meta__`` entry with
-the column names/ranges, the LSH configuration and per-table codes, and the
-interval-tree intervals.  Column embeddings are *not* stored: they are the
-mean of the representations over the segment axis and recomputing them on
-load is bit-identical to what was cached.
+A snapshot is a **base** archive, optionally followed by numbered
+**append-only segments** next to it.  Two base layouts exist:
+
+* **v1** (the default) — a single ``.npz`` archive holding, per indexed
+  table, the cached dataset-encoder representations (the expensive part —
+  the reason a restart should not re-encode anything) as ``rep_0`` …
+  arrays, plus a JSON ``__meta__`` entry with the column names/ranges, the
+  LSH configuration and per-table codes, and the interval-tree intervals.
+  Column embeddings are *not* stored: they are the mean of the
+  representations over the segment axis and recomputing them on load is
+  bit-identical to what was cached.
+* **v2** (``layout="v2"``) — the base ``.npz`` holds the snapshot
+  *metadata* only; the numeric payload lives in three flat ``.npy``
+  sidecar files next to it: ``<stem>.gNNNN.reps.npy`` (every table's
+  representations, concatenated flat), ``<stem>.gNNNN.colemb.npy`` (the
+  per-column embeddings, pre-computed so a memory-mapped load never has to
+  touch the representation pages just to take a mean) and
+  ``<stem>.gNNNN.codes.npy`` (the LSH codes as ``uint64``).  The JSON
+  ``__meta__`` entry stays O(1): everything per-table — ids, fingerprints,
+  column names/ranges, offsets and shapes into the flat sidecars, the
+  interval rows — is stored as plain array members of the base archive
+  (``table_ids``, ``rep_offsets``, ``column_ranges``, …).  That matters at
+  scale: loading the metadata of a 10⁵-table snapshot is a handful of
+  C-speed array reads instead of one giant ``json.loads``, and a query
+  worker preloading the snapshot pays no per-table dict churn.
+  ``load_processor(..., mmap=True)`` opens the sidecars with
+  ``np.load(mmap_mode="r")`` and hands every table a zero-copy read-only
+  *view* — the index then lives in the kernel page cache, shared by every
+  process that maps it, instead of being duplicated per worker.  ``gNNNN``
+  is a generation token: a rewrite lands complete new sidecars under a
+  fresh generation *before* the base archive is atomically replaced, so a
+  crash at any point leaves the (old or new) base referencing complete,
+  matching sidecars; stale generations are deleted only after the base
+  rename.
 
 Append-only segments
 --------------------
@@ -19,14 +45,17 @@ delta — new encodings, LSH codes and intervals for added tables, plus a
 ``tombstones`` list for removed ones — as ``<base>.seg-0001.npz``,
 ``<base>.seg-0002.npz``, … next to the base.  Snapshotting after an
 incremental ``add_tables`` therefore costs O(delta), not O(index); an empty
-delta writes nothing.  :func:`load_processor` replays segments in order
-(tombstones first, then additions), so a restart — or a query worker picking
-the snapshot up — sees exactly the state the last append recorded.
-:func:`compact_snapshot` folds base + segments back into a single base
-archive and deletes the segments (replay is idempotent, so a crash between
-the rewrite and the deletes cannot corrupt the snapshot).  A *full*
-``save_processor`` to a path that has segments deletes them: the new base
-supersedes the whole lineage.
+delta writes nothing.  Segments always use the v1 single-archive format,
+whatever the base layout: deltas are small, and keeping them self-contained
+means an append never has to rewrite a sidecar.  :func:`load_processor`
+replays segments in order (tombstones first, then additions), so a restart —
+or a query worker picking the snapshot up — sees exactly the state the last
+append recorded.  :func:`compact_snapshot` folds base + segments back into a
+single base archive (optionally converting layout with ``layout=``) and
+deletes the segments (replay is idempotent, so a crash between the rewrite
+and the deletes cannot corrupt the snapshot).  A *full* ``save_processor``
+to a path that has segments deletes them: the new base supersedes the whole
+lineage.
 
 The format is versioned; loading checks the model's embedding dimension
 *and numeric precision* against the snapshot so a service cannot silently
@@ -38,6 +67,11 @@ casting them would serve scores the live model cannot reproduce.  The same
 rule holds *within* a snapshot lineage — appending a segment under a
 different precision than the base (or loading such a mix) is rejected.
 Pre-policy snapshots carry no dtype field and are treated as float64.
+
+Corruption is reported as :class:`SnapshotError` (a ``ValueError``
+subclass): a truncated archive, a missing or short sidecar, or metadata
+pointing past the end of a flat array all fail with a message naming the
+file, instead of surfacing a raw NumPy/zipfile exception.
 """
 
 from __future__ import annotations
@@ -46,9 +80,10 @@ import hashlib
 import json
 import os
 import re
+import zipfile
 from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,10 +96,26 @@ from ..index.lsh import LSHConfig, RandomHyperplaneLSH
 PathLike = Union[str, Path]
 
 SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION_V2 = 2
 
 #: Segment file name pattern: ``<base stem>.seg-<number>.npz`` next to the base.
 _SEGMENT_SUFFIX = ".seg-{number:04d}.npz"
 _SEGMENT_RE = re.compile(r"\.seg-(\d+)\.npz$")
+
+#: v2 sidecar name pattern: ``<base stem>.g<generation>.<kind>.npy``.
+_SIDECAR_KINDS = ("reps", "colemb", "codes")
+_SIDECAR_RE = re.compile(r"\.g(\d+)\.(reps|colemb|codes)\.npy$")
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is missing, truncated, or structurally corrupt.
+
+    Subclasses ``ValueError`` so callers that already guard snapshot loads
+    with ``except ValueError`` keep working; new code can catch
+    ``SnapshotError`` to distinguish on-disk damage (restore from backup,
+    rebuild the index) from configuration mismatches (wrong model/dtype),
+    which stay plain ``ValueError``.
+    """
 
 
 # --------------------------------------------------------------------------- #
@@ -74,6 +125,14 @@ def _resolve_snapshot_path(path: PathLike) -> Path:
     """Resolve ``path`` to the on-disk archive (``np.savez`` appends .npz)."""
     path = Path(path)
     if not path.exists() and path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def _canonical_base(path: PathLike) -> Path:
+    """The base archive path a write will land on (always ``.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     return path
 
@@ -89,8 +148,7 @@ def _write_archive(path: Path, meta: dict, arrays: Dict[str, np.ndarray]) -> Pat
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
-    if path.suffix != ".npz":  # np.savez appends .npz when missing
-        path = path.with_suffix(path.suffix + ".npz")
+    path = _canonical_base(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp.npz")
     np.savez(tmp, **arrays)
@@ -98,29 +156,86 @@ def _write_archive(path: Path, meta: dict, arrays: Dict[str, np.ndarray]) -> Pat
     return path
 
 
+def _write_npy(path: Path, array: np.ndarray) -> Path:
+    """Atomically write one flat sidecar array (temp file + rename)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp.npy")
+    np.save(tmp, array)
+    os.replace(tmp, path)
+    return path
+
+
+def _open_npz(path: Path):
+    """``np.load`` with unreadable archives mapped to :class:`SnapshotError`."""
+    if not path.exists():
+        raise SnapshotError(f"no snapshot archive at {path}")
+    try:
+        return np.load(path)
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise SnapshotError(
+            f"snapshot archive {path.name} is unreadable — truncated or corrupt "
+            f"({exc}); restore it from a backup or rebuild the index"
+        ) from exc
+
+
+def _archive_member(archive, name: str, path: Path) -> np.ndarray:
+    try:
+        return archive[name]
+    except KeyError as exc:
+        raise SnapshotError(
+            f"snapshot archive {path.name} has no {name!r} entry — the archive "
+            f"is incomplete or not a repro snapshot"
+        ) from exc
+    except (zipfile.BadZipFile, ValueError, OSError, EOFError) as exc:
+        raise SnapshotError(
+            f"snapshot archive {path.name} is corrupt: entry {name!r} cannot be "
+            f"read ({exc})"
+        ) from exc
+
+
+def _decode_meta(raw: np.ndarray, path: Path) -> dict:
+    try:
+        return json.loads(bytes(raw).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot archive {path.name} has a corrupt __meta__ entry ({exc})"
+        ) from exc
+
+
 def _read_meta(path: Path) -> dict:
     """Only the JSON ``__meta__`` entry (the arrays stay on disk)."""
-    with np.load(path) as archive:
-        return json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+    with _open_npz(path) as archive:
+        return _decode_meta(_archive_member(archive, "__meta__", path), path)
 
 
 def _read_archive(path: Path) -> Tuple[dict, Dict[str, np.ndarray]]:
-    with np.load(path) as archive:
-        arrays = {name: archive[name] for name in archive.files}
-    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+    with _open_npz(path) as archive:
+        arrays = {
+            name: _archive_member(archive, name, path) for name in archive.files
+        }
+    if "__meta__" not in arrays:
+        raise SnapshotError(
+            f"snapshot archive {path.name} has no '__meta__' entry — the "
+            f"archive is incomplete or not a repro snapshot"
+        )
+    meta = _decode_meta(arrays.pop("__meta__"), path)
     return meta, arrays
 
 
-def _check_version(meta: dict, path: Path) -> None:
-    if meta.get("version") != SNAPSHOT_VERSION:
-        raise ValueError(
+def _check_base_version(meta: dict, path: Path) -> None:
+    if meta.get("version") not in (SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2):
+        raise SnapshotError(
             f"unsupported snapshot version {meta.get('version')!r} in {path.name} "
-            f"(expected {SNAPSHOT_VERSION})"
+            f"(expected {SNAPSHOT_VERSION} or {SNAPSHOT_VERSION_V2})"
         )
 
 
 def _check_segment(meta: dict, base_meta: dict, path: Path) -> None:
-    _check_version(meta, path)
+    if meta.get("version") != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot version {meta.get('version')!r} in {path.name} "
+            f"(segments always use version {SNAPSHOT_VERSION})"
+        )
     if meta.get("kind") != "segment":
         raise ValueError(f"{path.name} is not a snapshot segment")
     if meta.get("embed_dim") != base_meta.get("embed_dim"):
@@ -159,9 +274,135 @@ def snapshot_segments(path: PathLike) -> List[Path]:
     return [segment for _, segment in sorted(numbered)]
 
 
+def snapshot_layout(path: PathLike) -> int:
+    """The base layout version of the snapshot at ``path`` (1 or 2).
+
+    Reads only the metadata entry.  Raises :class:`SnapshotError` when no
+    snapshot exists there or the archive is unreadable.
+    """
+    base = _resolve_snapshot_path(path)
+    meta = _read_meta(base)
+    _check_base_version(meta, base)
+    return int(meta["version"])
+
+
+# --------------------------------------------------------------------------- #
+# v2 sidecar plumbing
+# --------------------------------------------------------------------------- #
+def _sidecar_path(base: Path, generation: int, kind: str) -> Path:
+    return base.parent / f"{base.stem}.g{generation:04d}.{kind}.npy"
+
+
+def _sidecar_files(base: Path) -> List[Tuple[int, Path]]:
+    found = []
+    for candidate in base.parent.glob(base.stem + ".g*.npy"):
+        match = _SIDECAR_RE.search(candidate.name)
+        if match and candidate.name == base.stem + match.group(0):
+            found.append((int(match.group(1)), candidate))
+    return found
+
+
+def _cleanup_sidecars(base: Path, keep_generation: Optional[int] = None) -> None:
+    """Delete sidecar generations the base no longer references (best-effort)."""
+    for generation, candidate in _sidecar_files(base):
+        if keep_generation is not None and generation == keep_generation:
+            continue
+        try:
+            candidate.unlink()
+        except OSError:
+            pass  # a mapped-but-deleted file stays readable; leftovers are inert
+
+
+def _next_generation(base: Path) -> int:
+    current = 0
+    if base.exists():
+        try:
+            current = int(_read_meta(base).get("generation", 0))
+        except (SnapshotError, TypeError, ValueError):
+            current = 0
+    for generation, _ in _sidecar_files(base):
+        current = max(current, generation)
+    return current + 1
+
+
+def _open_sidecar(base: Path, meta: dict, kind: str, mmap: bool) -> np.ndarray:
+    info = (meta.get("sidecars") or {}).get(kind)
+    if not info:
+        raise SnapshotError(
+            f"{base.name} is a v2 snapshot but records no {kind!r} sidecar — "
+            f"the snapshot metadata is corrupt"
+        )
+    path = base.parent / str(info["file"])
+    if not path.exists():
+        raise SnapshotError(
+            f"snapshot sidecar {info['file']} is missing next to {base.name}; "
+            f"a v2 snapshot is the base archive plus its .npy sidecars — copy "
+            f"or restore them together, or rebuild the index"
+        )
+    try:
+        flat = np.load(path, mmap_mode="r" if mmap else None)
+    except (ValueError, OSError, EOFError) as exc:
+        raise SnapshotError(
+            f"snapshot sidecar {path.name} is unreadable — truncated or "
+            f"corrupt ({exc}); restore it from a backup or rebuild the index"
+        ) from exc
+    expected = int(info["elements"])
+    if flat.ndim != 1 or int(flat.shape[0]) != expected:
+        raise SnapshotError(
+            f"snapshot sidecar {path.name} is truncated or does not match the "
+            f"base metadata: expected {expected} flat elements, found shape "
+            f"{tuple(flat.shape)}"
+        )
+    expected_dtype = (
+        np.dtype(np.uint64) if kind == "codes" else np.dtype(meta.get("dtype", "float64"))
+    )
+    if flat.dtype != expected_dtype:
+        raise SnapshotError(
+            f"snapshot sidecar {path.name} holds dtype {flat.dtype}, the base "
+            f"metadata records {expected_dtype} — the files do not belong to "
+            f"the same snapshot generation"
+        )
+    return flat
+
+
+def _resolve_layout(layout: Union[str, int, None]) -> int:
+    if layout is None:
+        return SNAPSHOT_VERSION
+    versions = {
+        "v1": SNAPSHOT_VERSION,
+        "v2": SNAPSHOT_VERSION_V2,
+        SNAPSHOT_VERSION: SNAPSHOT_VERSION,
+        SNAPSHOT_VERSION_V2: SNAPSHOT_VERSION_V2,
+    }
+    try:
+        return versions[layout]
+    except KeyError:
+        raise ValueError(
+            f"unknown snapshot layout {layout!r} (expected 'v1' or 'v2')"
+        ) from None
+
+
 # --------------------------------------------------------------------------- #
 # Payload helpers
 # --------------------------------------------------------------------------- #
+class _TableState(NamedTuple):
+    """One table's recorded (or live) snapshot state, layout-independent."""
+
+    table_id: str
+    column_names: List[str]
+    column_ranges: List[list]
+    codes: List[int]
+    fingerprint: Optional[str]
+    representations: np.ndarray
+    column_embeddings: Optional[np.ndarray]  # None: recompute as mean on use
+
+
+def _state_column_embeddings(state: _TableState) -> np.ndarray:
+    if state.column_embeddings is not None:
+        return state.column_embeddings
+    return state.representations.mean(axis=1)
+
+
 def _fingerprint(representations: np.ndarray) -> str:
     """Content hash of one table's cached encoding (shape + dtype + bytes).
 
@@ -183,6 +424,33 @@ def _lsh_payload(processor: HybridQueryProcessor) -> dict:
         "hamming_radius": processor.lsh_config.hamming_radius,
         "seed": processor.lsh_config.seed,
     }
+
+
+def _live_state(processor: HybridQueryProcessor, table_id: str) -> _TableState:
+    encoded = processor.scorer.encoded_table(table_id)
+    lsh = processor.lsh
+    return _TableState(
+        table_id=table_id,
+        column_names=list(encoded.column_names),
+        column_ranges=[[float(lo), float(hi)] for lo, hi in encoded.column_ranges],
+        codes=[int(code) for code in (lsh.codes_for(table_id) if lsh else [])],
+        fingerprint=_fingerprint(encoded.representations),
+        representations=encoded.representations,
+        column_embeddings=encoded.column_embeddings,
+    )
+
+
+def _entry_state(entry: dict, representations: np.ndarray) -> _TableState:
+    """State from a v1 base/segment meta entry + its archive array."""
+    return _TableState(
+        table_id=entry["table_id"],
+        column_names=list(entry["column_names"]),
+        column_ranges=[list(pair) for pair in entry["column_ranges"]],
+        codes=[int(code) for code in entry["codes"]],
+        fingerprint=entry.get("fingerprint"),
+        representations=representations,
+        column_embeddings=None,
+    )
 
 
 def _tables_payload(
@@ -217,17 +485,77 @@ def _interval_payload(intervals: Sequence[Interval]) -> List[list]:
     ]
 
 
+# The base-archive array members that together replace per-table JSON
+# metadata in the v2 layout (see the module docstring).  The lean worker
+# path loads only the first group; codes and intervals never survive into
+# :class:`EncodedTable`.
+_V2_TABLE_ARRAYS = (
+    "table_ids",
+    "rep_offsets",
+    "rep_shapes",
+    "colemb_offsets",
+    "column_offsets",
+    "column_names",
+    "column_ranges",
+)
+_V2_INDEX_ARRAYS = (
+    "fingerprints",
+    "codes_offsets",
+    "codes_counts",
+    "interval_bounds",
+    "interval_table_ids",
+    "interval_column_names",
+)
+_V2_META_ARRAYS = _V2_TABLE_ARRAYS + _V2_INDEX_ARRAYS
+
+
+def _v2_meta_arrays(base: Path, archive, lean: bool) -> Dict[str, np.ndarray]:
+    """Load the v2 metadata arrays from an open base archive.
+
+    Presence of *every* member is always checked (cheap — the zip directory
+    is already in memory), but with ``lean=True`` only the table-geometry
+    group is actually read and decoded.
+    """
+    missing = [name for name in _V2_META_ARRAYS if name not in archive.files]
+    if missing:
+        raise SnapshotError(
+            f"snapshot archive {base.name} is corrupt: v2 metadata array "
+            f"{missing[0]!r} is missing"
+        )
+    wanted = _V2_TABLE_ARRAYS if lean else _V2_META_ARRAYS
+    return {name: _archive_member(archive, name, base) for name in wanted}
+
+
+def _base_fingerprints(
+    base: Path, base_meta: dict
+) -> "OrderedDict[str, Optional[str]]":
+    """``table_id -> content fingerprint`` for the base archive alone.
+
+    The v2 branch reads only the two id/fingerprint arrays from the archive —
+    the append path must stay O(delta), never O(index).
+    """
+    live: "OrderedDict[str, Optional[str]]" = OrderedDict()
+    if base_meta["version"] == SNAPSHOT_VERSION_V2:
+        with _open_npz(base) as archive:
+            table_ids = _archive_member(archive, "table_ids", base).tolist()
+            fingerprints = _archive_member(archive, "fingerprints", base).tolist()
+        for table_id, fingerprint in zip(table_ids, fingerprints):
+            live[table_id] = fingerprint or None  # "" = recorded pre-fingerprint
+    else:
+        for entry in base_meta["tables"]:
+            live[entry["table_id"]] = entry.get("fingerprint")
+    return live
+
+
 def _replay_tables(
-    base_meta: dict, segment_metas: Sequence[dict]
+    base: Path, base_meta: dict, segment_metas: Sequence[dict]
 ) -> "OrderedDict[str, Optional[str]]":
     """Live ``table_id -> content fingerprint`` after replaying the segments.
 
     Fingerprints are ``None`` for entries written before fingerprints were
     recorded (those cannot be content-diffed and are treated as unchanged).
     """
-    live: "OrderedDict[str, Optional[str]]" = OrderedDict()
-    for entry in base_meta["tables"]:
-        live[entry["table_id"]] = entry.get("fingerprint")
+    live = _base_fingerprints(base, base_meta)
     for meta in segment_metas:
         for table_id in meta.get("tombstones", ()):
             live.pop(table_id, None)
@@ -237,17 +565,169 @@ def _replay_tables(
     return live
 
 
+def _v2_table_states(
+    base: Path,
+    meta: dict,
+    arrays: Dict[str, np.ndarray],
+    mmap: bool,
+    lean: bool = False,
+) -> "OrderedDict[str, _TableState]":
+    """Per-table views into the flat sidecars (zero-copy when ``mmap``).
+
+    With ``lean=True`` the codes sidecar is never opened and no per-table
+    code lists or fingerprints are built — the worker load path
+    (:func:`snapshot_encodings`) only needs what :class:`EncodedTable`
+    carries.  The loop below is deliberately austere: everything numpy is
+    converted to plain Python containers in single ``tolist()`` passes and
+    the sidecars are re-viewed as base-class ndarrays, because per-table
+    ``np.memmap`` view objects (each dragging an instance ``__dict__``) and
+    per-element scalar boxing were the dominant private-dirty cost of a
+    worker opening a large snapshot.
+    """
+    reps_flat = _open_sidecar(base, meta, "reps", mmap).view(np.ndarray)
+    colemb_flat = _open_sidecar(base, meta, "colemb", mmap).view(np.ndarray)
+    codes_flat = None if lean else _open_sidecar(base, meta, "codes", mmap)
+    reps_total = reps_flat.shape[0]
+    colemb_total = colemb_flat.shape[0]
+    table_ids = arrays["table_ids"].tolist()
+    num_tables = len(table_ids)
+    fingerprints = (
+        [""] * num_tables if lean else arrays["fingerprints"].tolist()
+    )
+    rep_shapes = arrays["rep_shapes"]
+    column_offsets = arrays["column_offsets"]
+    names_flat = arrays["column_names"].tolist()
+    ranges_flat = arrays["column_ranges"]
+    if (
+        rep_shapes.shape != (num_tables, 3)
+        or len(fingerprints) != num_tables
+        or any(
+            arrays[member].shape != (num_tables,)
+            for member in ("rep_offsets", "colemb_offsets")
+        )
+        or (
+            not lean
+            and any(
+                arrays[member].shape != (num_tables,)
+                for member in ("codes_offsets", "codes_counts")
+            )
+        )
+        or column_offsets.shape != (num_tables + 1,)
+        or int(column_offsets[-1]) != len(names_flat)
+        or ranges_flat.shape != (len(names_flat), 2)
+    ):
+        raise SnapshotError(
+            f"{base.name} is corrupt: v2 metadata arrays disagree on the "
+            f"number of tables/columns"
+        )
+    rep_offsets = arrays["rep_offsets"].tolist()
+    rep_shape_rows = rep_shapes.tolist()
+    colemb_offsets = arrays["colemb_offsets"].tolist()
+    codes_offsets = [] if lean else arrays["codes_offsets"].tolist()
+    codes_counts = [] if lean else arrays["codes_counts"].tolist()
+    column_bounds = column_offsets.tolist()
+    # Lean states keep ranges as (NC, 2) float64 row views — the scorer's
+    # y-filter only unpacks rows, and boxing every bound into Python floats
+    # is measurable per-worker overhead.  The full path materialises plain
+    # lists because compaction re-serialises ranges through JSON (v1).
+    ranges_rows = ranges_flat if lean else ranges_flat.tolist()
+    states: "OrderedDict[str, _TableState]" = OrderedDict()
+    for index in range(num_tables):
+        table_id = table_ids[index]
+        shape = rep_shape_rows[index]
+        size = shape[0] * shape[1] * shape[2]
+        offset = rep_offsets[index]
+        if offset + size > reps_total:
+            raise SnapshotError(
+                f"{base.name} is corrupt: table {table_id!r} points past the "
+                f"end of the reps sidecar (offset {offset} + {size} elements "
+                f"> {reps_total})"
+            )
+        representations = reps_flat[offset : offset + size].reshape(shape)
+        num_columns, embed_dim = shape[0], shape[2]
+        colemb_size = num_columns * embed_dim
+        colemb_offset = colemb_offsets[index]
+        if colemb_offset + colemb_size > colemb_total:
+            raise SnapshotError(
+                f"{base.name} is corrupt: table {table_id!r} points past the "
+                f"end of the colemb sidecar"
+            )
+        column_embeddings = colemb_flat[
+            colemb_offset : colemb_offset + colemb_size
+        ].reshape(num_columns, embed_dim)
+        codes: List[int] = []
+        if codes_flat is not None:
+            codes_offset = codes_offsets[index]
+            codes_count = codes_counts[index]
+            if codes_offset + codes_count > codes_flat.shape[0]:
+                raise SnapshotError(
+                    f"{base.name} is corrupt: table {table_id!r} points past "
+                    f"the end of the codes sidecar"
+                )
+            codes = codes_flat[codes_offset : codes_offset + codes_count].tolist()
+        columns_start = column_bounds[index]
+        columns_end = column_bounds[index + 1]
+        states[table_id] = _TableState(
+            table_id=table_id,
+            column_names=names_flat[columns_start:columns_end],
+            column_ranges=ranges_rows[columns_start:columns_end],
+            codes=codes,
+            fingerprint=fingerprints[index] or None,
+            representations=representations,
+            column_embeddings=column_embeddings,
+        )
+    return states
+
+
+def _v2_intervals(arrays: Dict[str, np.ndarray]) -> List[list]:
+    bounds = arrays["interval_bounds"]
+    interval_table_ids = arrays["interval_table_ids"].tolist()
+    interval_column_names = arrays["interval_column_names"].tolist()
+    return [
+        [float(bounds[row, 0]), float(bounds[row, 1]), table_id, column_name]
+        for row, (table_id, column_name) in enumerate(
+            zip(interval_table_ids, interval_column_names)
+        )
+    ]
+
+
 def _merged_snapshot(
-    path: PathLike,
-) -> Tuple[Path, dict, "OrderedDict[str, Tuple[dict, np.ndarray]]", List[list]]:
-    """Replay base + segments into one in-memory state (for load/compaction)."""
+    path: PathLike, mmap: bool = False, lean: bool = False
+) -> Tuple[Path, dict, "OrderedDict[str, _TableState]", List[list]]:
+    """Replay base + segments into one in-memory state (for load/compaction).
+
+    ``lean=True`` (v2 worker path) skips LSH code lists and interval rows —
+    neither survives into :class:`EncodedTable`.
+    """
     base = _resolve_snapshot_path(path)
-    base_meta, base_arrays = _read_archive(base)
-    _check_version(base_meta, base)
-    tables: "OrderedDict[str, Tuple[dict, np.ndarray]]" = OrderedDict()
-    for position, entry in enumerate(base_meta["tables"]):
-        tables[entry["table_id"]] = (entry, base_arrays[f"rep_{position}"])
-    intervals: List[list] = [list(iv) for iv in base_meta["intervals"]]
+    tables: "OrderedDict[str, _TableState]" = OrderedDict()
+    intervals: List[list] = []
+    with _open_npz(base) as archive:
+        base_meta = _decode_meta(_archive_member(archive, "__meta__", base), base)
+        _check_base_version(base_meta, base)
+        if base_meta["version"] == SNAPSHOT_VERSION_V2:
+            base_arrays = _v2_meta_arrays(base, archive, lean=lean)
+        else:
+            base_arrays = {
+                name: _archive_member(archive, name, base)
+                for name in archive.files
+                if name != "__meta__"
+            }
+    if base_meta["version"] == SNAPSHOT_VERSION_V2:
+        tables = _v2_table_states(base, base_meta, base_arrays, mmap=mmap, lean=lean)
+        if not lean:
+            intervals = _v2_intervals(base_arrays)
+    else:
+        for position, entry in enumerate(base_meta["tables"]):
+            try:
+                representations = base_arrays[f"rep_{position}"]
+            except KeyError:
+                raise SnapshotError(
+                    f"snapshot archive {base.name} is corrupt: array "
+                    f"rep_{position} for table {entry['table_id']!r} is missing"
+                ) from None
+            tables[entry["table_id"]] = _entry_state(entry, representations)
+        intervals = [list(iv) for iv in base_meta["intervals"]]
     for segment in snapshot_segments(base):
         meta, arrays = _read_archive(segment)
         _check_segment(meta, base_meta, segment)
@@ -260,16 +740,168 @@ def _merged_snapshot(
                 tables.pop(table_id, None)
             intervals = [iv for iv in intervals if iv[2] not in dropped]
         for position, entry in enumerate(meta["tables"]):
-            tables[entry["table_id"]] = (entry, arrays[f"rep_{position}"])
+            try:
+                representations = arrays[f"rep_{position}"]
+            except KeyError:
+                raise SnapshotError(
+                    f"snapshot segment {segment.name} is corrupt: array "
+                    f"rep_{position} for table {entry['table_id']!r} is missing"
+                ) from None
+            tables[entry["table_id"]] = _entry_state(entry, representations)
         intervals.extend(list(iv) for iv in meta["intervals"])
     return base, base_meta, tables, intervals
+
+
+# --------------------------------------------------------------------------- #
+# Base writers (v1 single archive / v2 meta + flat sidecars)
+# --------------------------------------------------------------------------- #
+def _write_v1_base(base: Path, header: dict, states: Sequence[_TableState]) -> Path:
+    entries: List[dict] = []
+    arrays: Dict[str, np.ndarray] = {}
+    for position, state in enumerate(states):
+        arrays[f"rep_{position}"] = state.representations
+        entry = {
+            "table_id": state.table_id,
+            "column_names": list(state.column_names),
+            "column_ranges": [list(pair) for pair in state.column_ranges],
+            "codes": [int(code) for code in state.codes],
+        }
+        if state.fingerprint is not None:
+            entry["fingerprint"] = state.fingerprint
+        entries.append(entry)
+    meta = {
+        "version": SNAPSHOT_VERSION,
+        "embed_dim": header["embed_dim"],
+        "dtype": header["dtype"],
+        "lsh": header["lsh"],
+        "tables": entries,
+        "intervals": header["intervals"],
+    }
+    written = _write_archive(base, meta, arrays)
+    _cleanup_sidecars(written)  # a v1 base references no sidecars at all
+    return written
+
+
+def _strings_array(values: Sequence[str]) -> np.ndarray:
+    """A numpy unicode array (``<U1``-typed when empty, for round-tripping)."""
+    if not values:
+        return np.empty(0, dtype="<U1")
+    return np.array(list(values), dtype=np.str_)
+
+
+def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> Path:
+    base = _canonical_base(base)
+    lsh = header.get("lsh") or {}
+    if int(lsh.get("num_bits", 0)) > 64:
+        raise ValueError(
+            "the v2 layout stores LSH codes as uint64, which caps num_bits at "
+            "64 — use layout='v1' for wider codes"
+        )
+    dtype = np.dtype(header["dtype"])
+    table_ids: List[str] = []
+    fingerprints: List[str] = []  # "" = not recorded (pre-fingerprint entry)
+    rep_offsets: List[int] = []
+    rep_shapes: List[Tuple[int, int, int]] = []
+    colemb_offsets: List[int] = []
+    codes_offsets: List[int] = []
+    codes_counts: List[int] = []
+    column_offsets: List[int] = [0]  # (N+1,) prefix sums into the flat columns
+    names_flat: List[str] = []
+    ranges_flat: List[Tuple[float, float]] = []
+    rep_parts: List[np.ndarray] = []
+    colemb_parts: List[np.ndarray] = []
+    all_codes: List[int] = []
+    rep_offset = colemb_offset = 0
+    for state in states:
+        representations = np.ascontiguousarray(state.representations, dtype=dtype)
+        column_embeddings = np.ascontiguousarray(
+            _state_column_embeddings(state), dtype=dtype
+        )
+        table_ids.append(state.table_id)
+        fingerprints.append(state.fingerprint or "")
+        rep_offsets.append(rep_offset)
+        rep_shapes.append(tuple(int(dim) for dim in representations.shape))
+        colemb_offsets.append(colemb_offset)
+        codes_offsets.append(len(all_codes))
+        codes_counts.append(len(state.codes))
+        names_flat.extend(state.column_names)
+        ranges_flat.extend(
+            (float(low), float(high)) for low, high in state.column_ranges
+        )
+        column_offsets.append(len(names_flat))
+        rep_parts.append(representations.reshape(-1))
+        rep_offset += representations.size
+        colemb_parts.append(column_embeddings.reshape(-1))
+        colemb_offset += column_embeddings.size
+        all_codes.extend(int(code) for code in state.codes)
+    intervals = header["intervals"]
+    arrays = {
+        "table_ids": _strings_array(table_ids),
+        "fingerprints": _strings_array(fingerprints),
+        "rep_offsets": np.asarray(rep_offsets, dtype=np.int64),
+        "rep_shapes": np.asarray(rep_shapes, dtype=np.int64).reshape(
+            len(states), 3
+        ),
+        "colemb_offsets": np.asarray(colemb_offsets, dtype=np.int64),
+        "codes_offsets": np.asarray(codes_offsets, dtype=np.int64),
+        "codes_counts": np.asarray(codes_counts, dtype=np.int64),
+        "column_offsets": np.asarray(column_offsets, dtype=np.int64),
+        "column_names": _strings_array(names_flat),
+        "column_ranges": np.asarray(ranges_flat, dtype=np.float64).reshape(
+            len(names_flat), 2
+        ),
+        "interval_bounds": np.asarray(
+            [[float(row[0]), float(row[1])] for row in intervals],
+            dtype=np.float64,
+        ).reshape(len(intervals), 2),
+        "interval_table_ids": _strings_array([str(row[2]) for row in intervals]),
+        "interval_column_names": _strings_array(
+            [str(row[3]) for row in intervals]
+        ),
+    }
+    reps_flat = (
+        np.concatenate(rep_parts) if rep_parts else np.empty(0, dtype=dtype)
+    )
+    colemb_flat = (
+        np.concatenate(colemb_parts) if colemb_parts else np.empty(0, dtype=dtype)
+    )
+    codes_flat = np.array(all_codes, dtype=np.uint64)
+    generation = _next_generation(base)
+    flats = {"reps": reps_flat, "colemb": colemb_flat, "codes": codes_flat}
+    sidecars = {
+        kind: {
+            "file": _sidecar_path(base, generation, kind).name,
+            "elements": int(flats[kind].shape[0]),
+        }
+        for kind in _SIDECAR_KINDS
+    }
+    meta = {
+        "version": SNAPSHOT_VERSION_V2,
+        "generation": generation,
+        "embed_dim": header["embed_dim"],
+        "dtype": header["dtype"],
+        "lsh": header["lsh"],
+        "num_tables": len(states),
+        "sidecars": sidecars,
+    }
+    # Sidecars land complete (atomic per-file) under a fresh generation
+    # *before* the base archive is replaced; the base rename is the commit
+    # point, after which older generations are garbage and deleted.
+    for kind in _SIDECAR_KINDS:
+        _write_npy(_sidecar_path(base, generation, kind), flats[kind])
+    written = _write_archive(base, meta, arrays)
+    _cleanup_sidecars(written, keep_generation=generation)
+    return written
 
 
 # --------------------------------------------------------------------------- #
 # Save: full base or append-only segment
 # --------------------------------------------------------------------------- #
 def save_processor(
-    processor: HybridQueryProcessor, path: PathLike, append: bool = False
+    processor: HybridQueryProcessor,
+    path: PathLike,
+    append: bool = False,
+    layout: Union[str, int, None] = None,
 ) -> Path:
     """Snapshot a built :class:`HybridQueryProcessor` to ``path`` (``.npz``).
 
@@ -277,28 +909,37 @@ def save_processor(
     the cached encodings of every indexed table, the live interval-tree
     intervals and the LSH codes + configuration — and deletes any
     append-only segments a previous snapshot at this path accumulated (the
-    fresh base supersedes them).  Model weights are *not* included — persist
-    those separately with :func:`repro.nn.serialization.save_state_dict`.
+    fresh base supersedes them).  ``layout`` selects the base format:
+    ``"v1"`` (default) writes the single self-contained ``.npz``; ``"v2"``
+    writes a metadata-only base plus flat ``.npy`` sidecars that
+    ``load_processor(..., mmap=True)`` can memory-map zero-copy (see the
+    module docstring).  Model weights are *not* included — persist those
+    separately with :func:`repro.nn.serialization.save_state_dict`.
 
     With ``append=True`` only the **delta** against the existing base (plus
     any earlier segments) is written, as a numbered segment file next to the
     base — new tables' encodings/codes/intervals and a tombstone list for
     removed ones.  The cost is O(delta): the base's representation arrays
-    are neither read nor rewritten.  Returns the path written — the segment
-    file, or the base path unchanged when the delta is empty (nothing is
-    written).  Raises ``ValueError`` if no base exists at ``path`` or if the
-    processor's precision/embedding dimension does not match it.
+    are neither read nor rewritten.  Segments always use the v1 archive
+    format regardless of the base layout, so ``layout`` must be left at
+    ``None``.  Returns the path written — the segment file, or the base
+    path unchanged when the delta is empty (nothing is written).  Raises
+    ``ValueError`` if no base exists at ``path`` or if the processor's
+    precision/embedding dimension does not match it.
     """
     if append:
+        if layout is not None:
+            raise ValueError(
+                "layout= applies to full saves; append-only segments always "
+                "use the v1 archive format"
+            )
         return _append_segment(processor, path)
-    table_ids = processor.table_ids
-    tables_meta, arrays = _tables_payload(processor, table_ids)
-    meta = {
-        "version": SNAPSHOT_VERSION,
+    version = _resolve_layout(layout)
+    states = [_live_state(processor, table_id) for table_id in processor.table_ids]
+    header = {
         "embed_dim": processor.scorer.config.embed_dim,
         "dtype": processor.scorer.config.numeric_dtype.name,
         "lsh": _lsh_payload(processor),
-        "tables": tables_meta,
         "intervals": _interval_payload(processor.interval_tree.intervals),
     }
     # Retire a previous lineage's segments *before* replacing the base:
@@ -307,7 +948,8 @@ def save_processor(
     # new base would replay over it and resurrect removed tables.
     for stale_segment in reversed(snapshot_segments(Path(path))):
         stale_segment.unlink()
-    return _write_archive(Path(path), meta, arrays)
+    writer = _write_v2_base if version == SNAPSHOT_VERSION_V2 else _write_v1_base
+    return writer(Path(path), header, states)
 
 
 def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
@@ -318,7 +960,7 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
             f"first with save_processor(..., append=False)"
         )
     base_meta = _read_meta(base)
-    _check_version(base_meta, base)
+    _check_base_version(base_meta, base)
     config = processor.scorer.config
     if base_meta["embed_dim"] != config.embed_dim:
         raise ValueError(
@@ -346,7 +988,7 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
     segment_metas = [_read_meta(segment) for segment in segments]
     for segment, meta in zip(segments, segment_metas):
         _check_segment(meta, base_meta, segment)
-    covered = _replay_tables(base_meta, segment_metas)
+    covered = _replay_tables(base, base_meta, segment_metas)
     current = processor.table_ids
     current_set = set(current)
     # Content-aware delta: an id present on both sides whose recorded
@@ -398,36 +1040,44 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
     return _write_archive(segment_path, meta, arrays)
 
 
-def compact_snapshot(path: PathLike) -> Path:
+def compact_snapshot(path: PathLike, layout: Union[str, int, None] = None) -> Path:
     """Fold a base + its append-only segments back into one base archive.
 
     Replays the segments, rewrites the base with the merged state and then
     deletes the segment files; loading the compacted snapshot is equivalent
-    to loading the segmented one (``tests/test_serving.py`` pins this).  A
-    snapshot with no segments is returned untouched.  Crash safety: the base
-    is rewritten *before* the segments are deleted, and replaying a segment
-    over the compacted base is idempotent, so an interruption between the
-    two steps cannot corrupt the snapshot.
+    to loading the segmented one (``tests/test_serving.py`` pins this).
+    ``layout=None`` keeps the base's current layout; passing ``"v1"`` or
+    ``"v2"`` rewrites into that layout — so
+    ``compact_snapshot(path, layout="v2")`` is also the migration path that
+    turns an existing v1 snapshot into a memory-mappable one, segments or
+    not.  A snapshot that already has the requested layout and no segments
+    is returned untouched.  Crash safety: the base is rewritten *before*
+    the segments are deleted (v2 sidecars land under a fresh generation
+    before the base rename commits them), and replaying a segment over the
+    compacted base is idempotent, so an interruption between the steps
+    cannot corrupt the snapshot.
     """
     base = _resolve_snapshot_path(path)
+    current_version = snapshot_layout(base)
+    target_version = (
+        current_version if layout is None else _resolve_layout(layout)
+    )
     segments = snapshot_segments(base)
-    if not segments:
+    if not segments and target_version == current_version:
         return base
-    base, base_meta, tables, intervals = _merged_snapshot(base)
-    tables_meta: List[dict] = []
-    arrays: Dict[str, np.ndarray] = {}
-    for position, (table_id, (entry, representations)) in enumerate(tables.items()):
-        arrays[f"rep_{position}"] = representations
-        tables_meta.append(entry)
-    meta = {
-        "version": SNAPSHOT_VERSION,
+    base, base_meta, tables, intervals = _merged_snapshot(
+        base, mmap=current_version == SNAPSHOT_VERSION_V2
+    )
+    header = {
         "embed_dim": base_meta["embed_dim"],
         "dtype": base_meta.get("dtype", "float64"),
         "lsh": base_meta["lsh"],
-        "tables": tables_meta,
         "intervals": intervals,
     }
-    base = _write_archive(base, meta, arrays)
+    writer = (
+        _write_v2_base if target_version == SNAPSHOT_VERSION_V2 else _write_v1_base
+    )
+    base = writer(base, header, list(tables.values()))
     for segment in segments:
         segment.unlink()
     return base
@@ -436,10 +1086,53 @@ def compact_snapshot(path: PathLike) -> Path:
 # --------------------------------------------------------------------------- #
 # Load
 # --------------------------------------------------------------------------- #
+def _states_to_encoded(states: "OrderedDict[str, _TableState]") -> List[EncodedTable]:
+    # The states are ephemeral (built by _merged_snapshot and discarded), so
+    # the column-name lists are handed over rather than copied, and lean v2
+    # range arrays pass through as-is — per-table copies and float boxing
+    # are pure private-dirty overhead in a preloading worker.
+    return [
+        EncodedTable(
+            table_id=state.table_id,
+            representations=state.representations,
+            column_names=state.column_names,
+            column_ranges=(
+                state.column_ranges
+                if isinstance(state.column_ranges, np.ndarray)
+                else [(low, high) for low, high in state.column_ranges]
+            ),
+            column_embeddings=_state_column_embeddings(state),
+        )
+        for state in states.values()
+    ]
+
+
+def snapshot_encodings(path: PathLike, mmap: bool = False) -> List[EncodedTable]:
+    """The cached :class:`EncodedTable` entries a snapshot records.
+
+    Replays append-only segments like :func:`load_processor`, but needs no
+    model and rebuilds no index structures — this is the worker-side entry
+    point: with ``mmap=True`` (v2 snapshots only) every table's arrays are
+    zero-copy read-only views into the memory-mapped sidecars, so a pool of
+    query workers opening the same snapshot shares one page-cache-backed
+    copy of the encodings instead of each holding a private duplicate.
+    """
+    if mmap and snapshot_layout(path) != SNAPSHOT_VERSION_V2:
+        base = _resolve_snapshot_path(path)
+        raise SnapshotError(
+            f"{base.name} is a v1 (single-archive) snapshot and cannot be "
+            f"memory-mapped; rewrite it with compact_snapshot(path, "
+            f"layout='v2') or save it with layout='v2'"
+        )
+    _, _, states, _ = _merged_snapshot(path, mmap=mmap, lean=True)
+    return _states_to_encoded(states)
+
+
 def load_processor(
     model: FCMModel,
     path: PathLike,
     scorer: Optional[FCMScorer] = None,
+    mmap: bool = False,
 ) -> HybridQueryProcessor:
     """Rebuild a query processor from a snapshot, without re-encoding.
 
@@ -450,10 +1143,22 @@ def load_processor(
     scorer, the interval tree is rebuilt from the saved intervals and the
     LSH from the saved codes — queries against the result are identical to
     the processor that was saved (``tests/test_serving.py`` pins the round
-    trip).  Raises ``ValueError`` if the model's embedding dimension or
-    numeric precision does not match the snapshot's.
+    trip).  With ``mmap=True`` (v2 snapshots only) the base encodings are
+    read-only views into memory-mapped sidecar files instead of in-process
+    copies; segment-recorded tables still load as copies (deltas are small
+    by construction).  Raises ``ValueError`` if the model's embedding
+    dimension or numeric precision does not match the snapshot's, and
+    :class:`SnapshotError` if any file of the lineage is missing, truncated
+    or corrupt.
     """
-    base, meta, tables, interval_rows = _merged_snapshot(path)
+    base = _resolve_snapshot_path(path)
+    if mmap and snapshot_layout(base) != SNAPSHOT_VERSION_V2:
+        raise SnapshotError(
+            f"{base.name} is a v1 (single-archive) snapshot and cannot be "
+            f"memory-mapped; rewrite it with compact_snapshot(path, "
+            f"layout='v2') or save it with layout='v2'"
+        )
+    base, meta, tables, interval_rows = _merged_snapshot(base, mmap=mmap)
     if meta["embed_dim"] != model.config.embed_dim:
         raise ValueError(
             f"snapshot was built with embed_dim={meta['embed_dim']}, "
@@ -475,16 +1180,9 @@ def load_processor(
     lsh = RandomHyperplaneLSH(
         model.config.embed_dim, config=lsh_config, dtype=model.config.numeric_dtype
     )
-    for table_id, (table_meta, representations) in tables.items():
-        encoded = EncodedTable(
-            table_id=table_id,
-            representations=representations,
-            column_names=list(table_meta["column_names"]),
-            column_ranges=[(lo, hi) for lo, hi in table_meta["column_ranges"]],
-            column_embeddings=representations.mean(axis=1),
-        )
+    for encoded, state in zip(_states_to_encoded(tables), tables.values()):
         scorer.add_encoded(encoded)
-        lsh.add_codes(encoded.table_id, table_meta["codes"])
+        lsh.add_codes(encoded.table_id, state.codes)
         processor.register_table(encoded.table_id)
     processor.lsh = lsh
     processor.interval_tree = IntervalTree(

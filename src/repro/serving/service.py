@@ -46,10 +46,12 @@ from ..index.hybrid import (
 from ..index.lsh import LSHConfig
 from ..vision.extractor import VisualElementExtractor
 from .persistence import (
+    SNAPSHOT_VERSION_V2,
     PathLike,
     compact_snapshot,
     load_processor,
     save_processor,
+    snapshot_layout,
 )
 from .sharding import ShardBuildReport, encode_tables_sharded
 from .workers import QueryWorkerPool, split_shards
@@ -109,6 +111,17 @@ class ServingConfig:
         precision at construction — a deployment guard so a float64 service
         cannot silently restart on float32 weights (snapshots are
         additionally self-validating, see :mod:`repro.serving.persistence`).
+    mmap_index:
+        When ``True``, :meth:`SearchService.load_index` memory-maps a v2
+        snapshot instead of copying it onto the heap (zero-copy read-only
+        views into the ``.npy`` sidecars), query workers open the same
+        mapping themselves at start instead of receiving pickled encodings,
+        and :meth:`SearchService.save_index` defaults to writing the v2
+        layout.  Rankings are identical to the copy path; worker-pool RSS
+        stops scaling with O(workers × index) because every process shares
+        the one page-cache copy.  A v1 snapshot still loads — as an
+        in-process copy (the fallback; :attr:`SearchService.mmap_active`
+        reports which path is live).  Default ``False`` (copy path).
     """
 
     lsh_config: Optional[LSHConfig] = None
@@ -119,6 +132,7 @@ class ServingConfig:
     worker_timeout: Optional[float] = 30.0
     build_timeout: Optional[float] = None
     dtype: Optional[str] = None
+    mmap_index: bool = False
 
     def __post_init__(self) -> None:
         if self.result_cache_size < 0:
@@ -217,6 +231,16 @@ class SearchService:
         # re-encodes the table, so workers must receive the fresh payload
         # even though the id-level diff looks unchanged.
         self._pool_removed_ids: set = set()
+        # Set by load_index(..., mmap active): workers open this snapshot
+        # themselves instead of receiving the base encodings over the pipe.
+        self._mmap_snapshot_path: Optional[PathLike] = None
+        # Ids removed since the snapshot was loaded: a freshly started pool
+        # preloads *snapshot* content for them, so they must be re-shipped
+        # even though _pool_removed_ids was cleared by an earlier sync or
+        # pool retirement.  Monotonic on purpose — over-refreshing is just a
+        # slightly larger first sync, under-refreshing would serve stale
+        # encodings.
+        self._mmap_dirty_ids: set = set()
         self.worker_fallback_reason: Optional[str] = None
         # (chart content hash, k, strategy) -> QueryResult (same content-hash
         # idiom as FCMScorer.prepare_query): equal charts from different
@@ -285,7 +309,9 @@ class SearchService:
         removed = self.processor.remove_tables(table_ids)
         self.stats.tables_removed += removed
         if removed:
-            self._pool_removed_ids.update(t for t in table_ids if t in known)
+            gone = {t for t in table_ids if t in known}
+            self._pool_removed_ids.update(gone)
+            self._mmap_dirty_ids.update(gone)
             self._invalidate()
         return removed
 
@@ -298,6 +324,16 @@ class SearchService:
         started / retired after a failure — see :attr:`worker_fallback_reason`)."""
         return self._query_pool
 
+    @property
+    def mmap_active(self) -> bool:
+        """``True`` when this service serves a memory-mapped v2 snapshot.
+
+        Set by :meth:`load_index` under ``ServingConfig(mmap_index=True)``
+        on a v2 snapshot; ``False`` for built-in-process indexes, copy-path
+        loads, and v1 snapshots (which fall back to the copy path).
+        """
+        return self._mmap_snapshot_path is not None
+
     def _ensure_query_pool(self) -> Optional[QueryWorkerPool]:
         if self.config.query_workers < 2 or self.worker_fallback_reason is not None:
             return None
@@ -307,13 +343,19 @@ class SearchService:
                     self.model,
                     self.config.query_workers,
                     start_timeout=self.config.worker_timeout,
+                    mmap_snapshot=self._mmap_snapshot_path,
                 )
                 pool.start()
             except Exception as exc:  # degrade, never fail the query
                 self._retire_query_pool(f"{type(exc).__name__}: {exc}")
                 return None
             self._query_pool = pool
-            self._pool_table_ids = set()
+            # Workers report what they mapped from the snapshot (exactly,
+            # even if segments landed between our load and their start);
+            # that is the sync baseline.  Anything mutated since the load
+            # may be stale in the mapping and is queued for a re-ship.
+            self._pool_table_ids = set(pool.preloaded_table_ids)
+            self._pool_removed_ids |= self._mmap_dirty_ids & self._pool_table_ids
         return self._query_pool
 
     def _retire_query_pool(self, reason: str) -> None:
@@ -468,28 +510,41 @@ class SearchService:
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
-    def save_index(self, path: PathLike, append: bool = False) -> "PathLike":
+    def save_index(
+        self,
+        path: PathLike,
+        append: bool = False,
+        layout: Optional[str] = None,
+    ) -> "PathLike":
         """Snapshot cached encodings + LSH codes + interval data to ``path``.
 
         ``append=True`` writes only the delta since the base snapshot (plus
         earlier segments) as a numbered append-only segment next to it —
         O(delta) instead of O(index), the right call after a small
-        :meth:`add_tables` / :meth:`remove_tables` batch.  Returns the path
+        :meth:`add_tables` / :meth:`remove_tables` batch.  ``layout``
+        selects the base format for a full save (``"v1"`` single archive,
+        ``"v2"`` memory-mappable sidecars); ``None`` follows
+        ``ServingConfig.mmap_index`` — a service configured for mmap
+        serving writes mappable snapshots by default.  Returns the path
         written (the base for a full save or an empty delta, the new segment
         file otherwise).  See :func:`repro.serving.persistence.save_processor`.
         """
-        return save_processor(self.processor, path, append=append)
+        if layout is None and not append and self.config.mmap_index:
+            layout = "v2"
+        return save_processor(self.processor, path, append=append, layout=layout)
 
     @staticmethod
-    def compact_snapshot(path: PathLike) -> "PathLike":
+    def compact_snapshot(path: PathLike, layout: Optional[str] = None) -> "PathLike":
         """Fold a snapshot's append-only segments back into its base archive.
 
         Convenience re-export of
         :func:`repro.serving.persistence.compact_snapshot` — run it when a
         snapshot has accumulated enough segments that replay cost (or file
         count) matters; loading is equivalent before and after.
+        ``layout="v2"`` additionally migrates the base to the
+        memory-mappable sidecar layout (``None`` keeps the current one).
         """
-        return compact_snapshot(path)
+        return compact_snapshot(path, layout=layout)
 
     @classmethod
     def load_index(
@@ -503,8 +558,18 @@ class SearchService:
 
         The snapshot's LSH configuration wins over ``config.lsh_config`` (the
         codes were produced under it); everything else of ``config`` applies.
+        Under ``ServingConfig(mmap_index=True)`` a v2 snapshot is
+        memory-mapped (zero-copy views; query workers open the same mapping
+        at start) — a v1 snapshot falls back to the copy path, reported by
+        :attr:`mmap_active`.
         """
         service = cls(model, config=config, extractor=extractor)
-        processor = load_processor(model, path, scorer=service.scorer)
+        use_mmap = (
+            service.config.mmap_index
+            and snapshot_layout(path) == SNAPSHOT_VERSION_V2
+        )
+        processor = load_processor(model, path, scorer=service.scorer, mmap=use_mmap)
         service.processor = processor
+        if use_mmap:
+            service._mmap_snapshot_path = path
         return service

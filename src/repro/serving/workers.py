@@ -47,6 +47,7 @@ from ..fcm.config import FCMConfig
 from ..fcm.model import FCMModel
 from ..fcm.preprocessing import ChartInput
 from ..fcm.scorer import EncodedTable
+from .persistence import PathLike, snapshot_encodings
 from .sharding import build_worker_scorer, chunk_evenly
 
 
@@ -54,10 +55,28 @@ class WorkerPoolError(RuntimeError):
     """A query-worker operation failed (caller should fall back in-process)."""
 
 
-def _worker_main(conn, config: FCMConfig, state: Dict[str, np.ndarray]) -> None:
-    """Worker-process loop: rehydrate once, then serve sync/score requests."""
+def _worker_main(
+    conn,
+    config: FCMConfig,
+    state: Dict[str, np.ndarray],
+    mmap_snapshot: Optional[PathLike] = None,
+) -> None:
+    """Worker-process loop: rehydrate once, then serve sync/score requests.
+
+    With ``mmap_snapshot`` set, the worker opens that v2 snapshot with
+    ``mmap=True`` during initialisation: its cache entries become zero-copy
+    read-only views into the memory-mapped sidecar files, so the base
+    encodings are never pickled over the pipe and every worker shares the
+    same page-cache-resident bytes.  The ``ready`` handshake reports the
+    loaded table ids so the parent knows exactly what the workers hold.
+    """
     try:
         scorer = build_worker_scorer(config, state)
+        loaded_ids: List[str] = []
+        if mmap_snapshot is not None:
+            for encoded in snapshot_encodings(mmap_snapshot, mmap=True):
+                scorer.add_encoded(encoded)
+                loaded_ids.append(encoded.table_id)
     except BaseException as exc:  # report the failed init, then exit
         try:
             conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -65,7 +84,7 @@ def _worker_main(conn, config: FCMConfig, state: Dict[str, np.ndarray]) -> None:
             pass
         conn.close()
         return
-    conn.send(("ready", None))
+    conn.send(("ready", loaded_ids))
     while True:
         try:
             message = conn.recv()
@@ -136,6 +155,12 @@ class QueryWorkerPool:
 
     All operations raise :class:`WorkerPoolError` on any worker failure or
     timeout; the pool is not usable afterwards and should be closed.
+
+    With ``mmap_snapshot`` (a v2 snapshot path) every worker memory-maps the
+    base encodings at start instead of receiving them pickled through
+    :meth:`sync` — worker RSS then grows by the page-cache pages the kernel
+    charges to the mapping, not by a private copy of the index.  Tables
+    added after the snapshot still ship incrementally via :meth:`sync`.
     """
 
     def __init__(
@@ -143,12 +168,15 @@ class QueryWorkerPool:
         model: FCMModel,
         num_workers: int,
         start_timeout: Optional[float] = 120.0,
+        mmap_snapshot: Optional[PathLike] = None,
     ) -> None:
         if num_workers < 2:
             raise ValueError("QueryWorkerPool needs num_workers >= 2")
         self._model = model
         self._num_workers = int(num_workers)
         self._start_timeout = start_timeout
+        self._mmap_snapshot = mmap_snapshot
+        self._preloaded_ids: List[str] = []
         self._processes: List[multiprocessing.Process] = []
         self._connections: list = []
         self.stats = WorkerPoolStats()
@@ -168,6 +196,20 @@ class QueryWorkerPool:
     def alive(self) -> bool:
         return bool(self._processes) and all(p.is_alive() for p in self._processes)
 
+    @property
+    def worker_pids(self) -> List[int]:
+        """The live workers' process ids (for external RSS measurement)."""
+        return [p.pid for p in self._processes if p.pid is not None]
+
+    @property
+    def preloaded_table_ids(self) -> List[str]:
+        """Table ids every worker loaded from ``mmap_snapshot`` at start.
+
+        Empty for pools started without a snapshot.  The parent uses this as
+        the sync baseline: only the diff against it is ever shipped.
+        """
+        return list(self._preloaded_ids)
+
     def start(self) -> "QueryWorkerPool":
         """Spawn the workers and wait for every ``ready`` handshake.
 
@@ -185,7 +227,7 @@ class QueryWorkerPool:
                 parent_conn, child_conn = context.Pipe(duplex=True)
                 process = context.Process(
                     target=_worker_main,
-                    args=(child_conn, config, state),
+                    args=(child_conn, config, state, self._mmap_snapshot),
                     daemon=True,
                 )
                 process.start()
@@ -197,10 +239,20 @@ class QueryWorkerPool:
                 if self._start_timeout is None
                 else time.perf_counter() + self._start_timeout
             )
+            loaded: List[List[str]] = []
             for conn in self._connections:
                 kind, payload = self._recv(conn, deadline)
                 if kind != "ready":
                     raise WorkerPoolError(f"worker failed to initialise: {payload}")
+                loaded.append(list(payload or []))
+            if any(ids != loaded[0] for ids in loaded[1:]):
+                # A segment landed between two workers opening the snapshot;
+                # the caches would diverge silently, so refuse the pool and
+                # let the serving layer fall back (or retry) instead.
+                raise WorkerPoolError(
+                    "workers disagree on the snapshot state they mapped"
+                )
+            self._preloaded_ids = loaded[0] if loaded else []
         except Exception:
             self.close()
             raise
@@ -228,6 +280,7 @@ class QueryWorkerPool:
                 pass
         self._processes = []
         self._connections = []
+        self._preloaded_ids = []
 
     def __enter__(self) -> "QueryWorkerPool":
         return self.start()

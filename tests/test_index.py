@@ -177,3 +177,89 @@ class TestHybridProcessor:
         processor, chart, _, _ = processor_setup
         with pytest.raises(ValueError):
             processor.candidates(chart, "bogus")
+
+
+class TestLSHBucketRecall:
+    """Regression pin: hashing quality on a corpus with known neighbours.
+
+    ``clustered_embeddings`` plants explicit cluster structure (measured
+    within-cluster cosine ≈ 0.99 at this noise level, ≈ 0 across), so the
+    true top-k of every query demonstrably sits in one bucket
+    neighbourhood.  Two bounds hold simultaneously:
+
+    * **recall floor** — a change to the hyperplane draw, the code packing
+      or the Hamming-ball probe that degrades bucket quality drops recall
+      below 0.95 and fails loudly;
+    * **candidate-fraction ceiling** — recall achieved by returning most of
+      the corpus is vacuous (an untrained encoder collapsing all embeddings
+      to one bucket would "recall" everything), so the same run must also
+      prune ≥ 75% of the corpus.
+
+    Deterministic: fixed corpus seed, fixed hyperplane seed, fixed query
+    perturbations.
+    """
+
+    NUM_VECTORS = 500
+    EMBED_DIM = 16
+    NUM_CLUSTERS = 25
+    NOISE = 0.05
+    TOP_K = 10
+    RECALL_FLOOR = 0.95
+    CANDIDATE_FRACTION_CEILING = 0.25
+
+    def _corpus_and_lsh(self):
+        from repro.data import clustered_embeddings
+
+        vectors, labels = clustered_embeddings(
+            self.NUM_VECTORS,
+            self.EMBED_DIM,
+            num_clusters=self.NUM_CLUSTERS,
+            noise=self.NOISE,
+            seed=7,
+        )
+        lsh = RandomHyperplaneLSH(
+            self.EMBED_DIM, LSHConfig(num_bits=16, hamming_radius=4, seed=0)
+        )
+        for i, vector in enumerate(vectors):
+            lsh.add(f"t{i:03d}", vector.reshape(1, -1))
+        return vectors, labels, lsh
+
+    def test_bucket_recall_meets_floor_without_vacuous_candidates(self):
+        vectors, labels, lsh = self._corpus_and_lsh()
+        prototypes = {}
+        for i, label in enumerate(labels):
+            prototypes.setdefault(int(label), vectors[i])
+        normalised = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        rng = np.random.default_rng(123)
+        recalls, fractions = [], []
+        for query_number in range(50):
+            label = query_number % self.NUM_CLUSTERS
+            query = prototypes[label] + self.NOISE * rng.normal(size=self.EMBED_DIM)
+            sims = normalised @ (query / np.linalg.norm(query))
+            true_top = set(np.argsort(-sims)[: self.TOP_K])
+            candidates = lsh.query(query.reshape(1, -1))
+            candidate_indices = {int(c[1:]) for c in candidates}
+            recalls.append(len(true_top & candidate_indices) / self.TOP_K)
+            fractions.append(len(candidates) / self.NUM_VECTORS)
+        mean_recall = float(np.mean(recalls))
+        mean_fraction = float(np.mean(fractions))
+        assert mean_recall >= self.RECALL_FLOOR, (
+            f"LSH bucket recall regressed: {mean_recall:.3f} < "
+            f"{self.RECALL_FLOOR} (candidate fraction {mean_fraction:.3f})"
+        )
+        assert mean_fraction <= self.CANDIDATE_FRACTION_CEILING, (
+            f"recall {mean_recall:.3f} is vacuous: candidate set covers "
+            f"{mean_fraction:.1%} of the corpus"
+        )
+
+    def test_cluster_structure_is_actually_present(self):
+        """Guard the guard: the corpus the pin relies on has real structure."""
+        vectors, labels, _ = self._corpus_and_lsh()
+        normalised = vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+        sims = normalised @ normalised.T
+        same = labels[:, None] == labels[None, :]
+        off_diagonal = ~np.eye(len(vectors), dtype=bool)
+        within = float(sims[same & off_diagonal].mean())
+        across = float(sims[~same].mean())
+        assert within > 0.9
+        assert abs(across) < 0.1

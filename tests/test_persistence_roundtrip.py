@@ -1,0 +1,480 @@
+"""Round-trip and crash-recovery properties of the snapshot formats.
+
+``tests/test_serving.py`` pins snapshot behaviour at the service level
+(queries against a restored service match the original).  This module goes
+one layer down and pins the **bytes**: whatever lineage a snapshot went
+through — v1 or v2 base, append-only segments, compaction, layout
+migration — the restored processor's cached encodings, LSH codes and
+interval set must be *identical* to the live processor's, not merely
+score-equivalent.  Byte identity is the property that makes the zero-copy
+mmap path trustworthy: a worker mapping the snapshot must see exactly the
+arrays the parent serialised.
+
+The second half exercises the failure surface: truncated archives, missing
+or short sidecars, and simulated crashes mid-append / mid-compaction must
+either leave a loadable (old or new, but consistent) snapshot behind or
+fail with a structured :class:`repro.serving.SnapshotError` naming the
+damaged file — never a raw ``zipfile``/NumPy traceback, and never silently
+wrong data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.data import SynthConfig, synth_tables
+from repro.fcm import FCMModel
+from repro.index import LSHConfig
+from repro.serving import (
+    SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V2,
+    SearchService,
+    ServingConfig,
+    SnapshotError,
+    compact_snapshot,
+    load_processor,
+    save_processor,
+    snapshot_encodings,
+    snapshot_layout,
+    snapshot_segments,
+)
+from repro.serving import persistence
+
+from conftest import active_dtype
+
+LAYOUTS = ("v1", "v2")
+
+
+@pytest.fixture(scope="module")
+def rt_model(tiny_fcm_config):
+    return FCMModel(tiny_fcm_config)
+
+
+def _corpus(num_tables: int, seed: int = 0):
+    config = SynthConfig(
+        num_tables=num_tables,
+        num_rows=48,
+        max_columns=2,
+        num_clusters=4,
+        seed=seed,
+    )
+    return list(synth_tables(config))
+
+
+def _build_service(model, tables) -> SearchService:
+    service = SearchService(
+        model, ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1))
+    )
+    service.build(tables)
+    return service
+
+
+def _processor_state(processor):
+    """Everything a snapshot must preserve, hashed down to exact bytes."""
+    tables = {}
+    for table_id in processor.table_ids:
+        encoded = processor.scorer.encoded_table(table_id)
+        tables[table_id] = (
+            encoded.representations.dtype.name,
+            encoded.representations.shape,
+            np.ascontiguousarray(encoded.representations).tobytes(),
+            np.ascontiguousarray(encoded.column_embeddings).tobytes(),
+            tuple(encoded.column_names),
+            tuple((float(lo), float(hi)) for lo, hi in encoded.column_ranges),
+            tuple(sorted(int(code) for code in processor.lsh.codes_for(table_id))),
+        )
+    intervals = frozenset(
+        (iv.low, iv.high, iv.table_id, iv.column_name)
+        for iv in processor.interval_tree.intervals
+    )
+    return tables, intervals
+
+
+def _assert_loaded_identical(model, path, reference_service, mmap=False):
+    loaded = load_processor(model, path, mmap=mmap)
+    assert _processor_state(loaded) == _processor_state(reference_service.processor)
+    return loaded
+
+
+def _is_mmap_backed(array: np.ndarray) -> bool:
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+# --------------------------------------------------------------------------- #
+# Round-trip properties
+# --------------------------------------------------------------------------- #
+class TestRoundTripProperties:
+    @settings(
+        max_examples=12,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        layout=st.sampled_from(LAYOUTS),
+        num_tables=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_base_round_trip_is_byte_identical(
+        self, rt_model, tmp_path, layout, num_tables, seed
+    ):
+        service = _build_service(rt_model, _corpus(num_tables, seed=seed))
+        target = tmp_path / f"{layout}-{num_tables}-{seed}" / "index.npz"
+        path = save_processor(service.processor, target, layout=layout)
+        assert snapshot_layout(path) == (
+            SNAPSHOT_VERSION_V2 if layout == "v2" else SNAPSHOT_VERSION
+        )
+        _assert_loaded_identical(rt_model, path, service)
+        if layout == "v2":
+            _assert_loaded_identical(rt_model, path, service, mmap=True)
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        layout=st.sampled_from(LAYOUTS),
+        num_base=st.integers(min_value=2, max_value=5),
+        num_added=st.integers(min_value=0, max_value=3),
+        remove_one=st.booleans(),
+    )
+    def test_segmented_lineage_and_compaction_round_trip(
+        self, rt_model, tmp_path, layout, num_base, num_added, remove_one
+    ):
+        """base → append(adds) → append(remove) → load/compact/migrate.
+
+        Every stage of the lineage — segmented, compacted in place, and
+        compacted into the *other* layout — restores byte-identical state.
+        """
+        corpus = _corpus(num_base + num_added)
+        service = _build_service(rt_model, corpus[:num_base])
+        stem = f"{layout}-{num_base}-{num_added}-{int(remove_one)}"
+        path = save_processor(
+            service.processor, tmp_path / stem / "index.npz", layout=layout
+        )
+        if num_added:
+            service.add_tables(corpus[num_base:])
+            save_processor(service.processor, path, append=True)
+        if remove_one:
+            service.remove_tables([corpus[0].table_id])
+            save_processor(service.processor, path, append=True)
+
+        expected_segments = int(bool(num_added)) + int(remove_one)
+        assert len(snapshot_segments(path)) == expected_segments
+        _assert_loaded_identical(rt_model, path, service)
+
+        assert compact_snapshot(path) == path
+        assert snapshot_segments(path) == []
+        assert snapshot_layout(path) == (
+            SNAPSHOT_VERSION_V2 if layout == "v2" else SNAPSHOT_VERSION
+        )
+        _assert_loaded_identical(rt_model, path, service)
+
+        other = "v1" if layout == "v2" else "v2"
+        compact_snapshot(path, layout=other)
+        assert snapshot_layout(path) == (
+            SNAPSHOT_VERSION_V2 if other == "v2" else SNAPSHOT_VERSION
+        )
+        _assert_loaded_identical(rt_model, path, service)
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_empty_index_round_trips(self, rt_model, tmp_path, layout):
+        service = _build_service(rt_model, [])
+        path = save_processor(
+            service.processor, tmp_path / "empty.npz", layout=layout
+        )
+        loaded = load_processor(rt_model, path)
+        assert loaded.table_ids == []
+        assert snapshot_encodings(path) == []
+
+    def test_v1_to_v2_migration_preserves_bytes_without_segments(
+        self, rt_model, tmp_path
+    ):
+        """compact_snapshot(layout='v2') migrates even a segment-free base."""
+        service = _build_service(rt_model, _corpus(4))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        assert snapshot_layout(path) == SNAPSHOT_VERSION
+        compact_snapshot(path, layout="v2")
+        assert snapshot_layout(path) == SNAPSHOT_VERSION_V2
+        _assert_loaded_identical(rt_model, path, service, mmap=True)
+
+    def test_v2_load_is_mmap_backed_and_read_only(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(3))
+        path = save_processor(
+            service.processor, tmp_path / "index.npz", layout="v2"
+        )
+        for encoded in snapshot_encodings(path, mmap=True):
+            assert _is_mmap_backed(encoded.representations)
+            assert _is_mmap_backed(encoded.column_embeddings)
+            assert not encoded.representations.flags.writeable
+            with pytest.raises((ValueError, RuntimeError)):
+                encoded.representations[...] = 0.0
+        # The copy path hands out plain, private arrays.
+        for encoded in snapshot_encodings(path, mmap=False):
+            assert not _is_mmap_backed(encoded.representations)
+
+    def test_mmap_load_of_v1_snapshot_is_rejected_with_migration_hint(
+        self, rt_model, tmp_path
+    ):
+        service = _build_service(rt_model, _corpus(2))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        with pytest.raises(SnapshotError, match="layout='v2'"):
+            load_processor(rt_model, path, mmap=True)
+        with pytest.raises(SnapshotError, match="layout='v2'"):
+            snapshot_encodings(path, mmap=True)
+
+    def test_append_with_layout_rejected(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(2))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        with pytest.raises(ValueError, match="segment"):
+            save_processor(service.processor, path, append=True, layout="v2")
+
+    def test_v2_rejects_codes_wider_than_uint64(self, tiny_fcm_config, tmp_path):
+        model = FCMModel(tiny_fcm_config)
+        service = SearchService(
+            model,
+            ServingConfig(lsh_config=LSHConfig(num_bits=65, hamming_radius=0)),
+        )
+        service.build(_corpus(1))
+        with pytest.raises(ValueError, match="uint64"):
+            save_processor(service.processor, tmp_path / "wide.npz", layout="v2")
+        # v1 stores codes as JSON integers and has no such cap.
+        path = save_processor(service.processor, tmp_path / "wide.npz")
+        _assert_loaded_identical(model, path, service)
+
+    def test_unknown_layout_rejected(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(1))
+        with pytest.raises(ValueError, match="layout"):
+            save_processor(service.processor, tmp_path / "x.npz", layout="v3")
+
+    def test_v2_single_sidecar_generation_after_rewrites(
+        self, rt_model, tmp_path
+    ):
+        """Repeated full saves bump the generation and GC the old sidecars."""
+        service = _build_service(rt_model, _corpus(3))
+        path = save_processor(
+            service.processor, tmp_path / "index.npz", layout="v2"
+        )
+        first = {p.name for _, p in persistence._sidecar_files(path)}
+        service.remove_tables([service.table_ids[0]])
+        save_processor(service.processor, path, layout="v2")
+        second = {p.name for _, p in persistence._sidecar_files(path)}
+        assert len(first) == len(second) == 3  # reps / colemb / codes
+        assert first.isdisjoint(second)  # fresh generation, old one deleted
+        _assert_loaded_identical(rt_model, path, service, mmap=True)
+
+
+# --------------------------------------------------------------------------- #
+# Crash recovery: torn appends, interrupted compactions
+# --------------------------------------------------------------------------- #
+class TestCrashRecovery:
+    def _segmented_snapshot(self, model, tmp_path, layout="v1"):
+        corpus = _corpus(5)
+        service = _build_service(model, corpus[:3])
+        path = save_processor(
+            service.processor, tmp_path / "index.npz", layout=layout
+        )
+        service.add_tables(corpus[3:])
+        save_processor(service.processor, path, append=True)
+        assert len(snapshot_segments(path)) == 1
+        return service, path
+
+    def test_leftover_tmp_file_from_crashed_append_is_ignored(
+        self, rt_model, tmp_path
+    ):
+        """A crash before the atomic rename leaves only an inert temp file."""
+        service, path = self._segmented_snapshot(rt_model, tmp_path)
+        stray = path.with_name(path.stem + ".seg-0002.npz.tmp.npz")
+        stray.write_bytes(b"half-written garbage")
+        assert len(snapshot_segments(path)) == 1  # the stray is not a segment
+        _assert_loaded_identical(rt_model, path, service)
+
+    def test_truncated_segment_is_a_structured_error(self, rt_model, tmp_path):
+        """A torn *renamed* segment (e.g. bad copy) fails loudly, by name."""
+        service, path = self._segmented_snapshot(rt_model, tmp_path)
+        segment = snapshot_segments(path)[0]
+        segment.write_bytes(segment.read_bytes()[:128])
+        with pytest.raises(SnapshotError, match=segment.name):
+            load_processor(rt_model, path)
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_crash_after_compact_rewrite_before_segment_delete(
+        self, rt_model, tmp_path, monkeypatch, layout
+    ):
+        """Replay over a compacted base is idempotent, so this crash is safe."""
+        service, path = self._segmented_snapshot(rt_model, tmp_path, layout)
+        expected = _processor_state(service.processor)
+
+        original_unlink = persistence.Path.unlink
+
+        def failing_unlink(self, *args, **kwargs):
+            if ".seg-" in self.name:
+                raise OSError("simulated crash before segment cleanup")
+            return original_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(persistence.Path, "unlink", failing_unlink)
+        with pytest.raises(OSError, match="simulated crash"):
+            compact_snapshot(path)
+        monkeypatch.undo()
+
+        # Base is already compacted, the stale segment replays harmlessly.
+        assert len(snapshot_segments(path)) == 1
+        assert _processor_state(load_processor(rt_model, path)) == expected
+        # Re-running the interrupted compaction completes it.
+        compact_snapshot(path)
+        assert snapshot_segments(path) == []
+        assert _processor_state(load_processor(rt_model, path)) == expected
+
+    def test_crash_before_v2_base_commit_keeps_old_generation(
+        self, rt_model, tmp_path, monkeypatch
+    ):
+        """Sidecars land before the base rename; a crash between them leaves
+        the old base + old sidecars fully consistent, and the orphaned new
+        generation is garbage-collected by the next successful rewrite."""
+        service, path = self._segmented_snapshot(rt_model, tmp_path, "v2")
+        expected = _processor_state(service.processor)
+
+        def exploding_write_archive(*args, **kwargs):
+            raise RuntimeError("simulated crash before base rename")
+
+        monkeypatch.setattr(
+            persistence, "_write_archive", exploding_write_archive
+        )
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            compact_snapshot(path)
+        monkeypatch.undo()
+
+        # Old base + segment still load; the orphan sidecars are inert.
+        generations = {g for g, _ in persistence._sidecar_files(path)}
+        assert len(generations) == 2  # committed + orphaned
+        assert _processor_state(load_processor(rt_model, path)) == expected
+
+        compact_snapshot(path)
+        assert snapshot_segments(path) == []
+        assert len({g for g, _ in persistence._sidecar_files(path)}) == 1
+        assert _processor_state(load_processor(rt_model, path)) == expected
+
+
+# --------------------------------------------------------------------------- #
+# Corruption reporting
+# --------------------------------------------------------------------------- #
+class TestCorruptionErrors:
+    def _v2_snapshot(self, model, tmp_path):
+        service = _build_service(model, _corpus(3))
+        return save_processor(
+            service.processor, tmp_path / "index.npz", layout="v2"
+        )
+
+    def test_snapshot_error_is_a_value_error(self):
+        assert issubclass(SnapshotError, ValueError)
+
+    def test_missing_snapshot_reports_path(self, rt_model, tmp_path):
+        with pytest.raises(SnapshotError, match="no snapshot archive"):
+            load_processor(rt_model, tmp_path / "nope.npz")
+        with pytest.raises(SnapshotError, match="no snapshot archive"):
+            snapshot_layout(tmp_path / "nope.npz")
+
+    def test_truncated_base_archive(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(2))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(SnapshotError, match="truncated or corrupt"):
+            load_processor(rt_model, path)
+
+    def test_garbage_base_archive(self, rt_model, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this was never an npz archive")
+        with pytest.raises(SnapshotError):
+            load_processor(rt_model, path)
+
+    def test_npz_without_meta_entry(self, rt_model, tmp_path):
+        path = tmp_path / "alien.npz"
+        np.savez(path, payload=np.arange(3))
+        with pytest.raises(SnapshotError, match="__meta__"):
+            load_processor(rt_model, path)
+
+    def test_missing_sidecar_names_the_file(self, rt_model, tmp_path):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        victim = persistence._sidecar_files(path)[0][1]
+        victim.unlink()
+        with pytest.raises(SnapshotError, match=victim.name):
+            load_processor(rt_model, path)
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_truncated_sidecar_detected_under_both_load_modes(
+        self, rt_model, tmp_path, mmap
+    ):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        reps = next(
+            p
+            for _, p in persistence._sidecar_files(path)
+            if p.name.endswith(".reps.npy")
+        )
+        raw = reps.read_bytes()
+        reps.write_bytes(raw[: len(raw) - active_dtype().itemsize * 7])
+        with pytest.raises(SnapshotError, match="truncated|corrupt"):
+            load_processor(rt_model, path, mmap=mmap)
+
+    def test_sidecar_dtype_mismatch_detected(self, rt_model, tmp_path):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        colemb = next(
+            p
+            for _, p in persistence._sidecar_files(path)
+            if p.name.endswith(".colemb.npy")
+        )
+        flat = np.load(colemb)
+        other = np.float32 if flat.dtype == np.float64 else np.float64
+        np.save(colemb.with_suffix(""), flat.astype(other))
+        with pytest.raises(SnapshotError, match="dtype"):
+            load_processor(rt_model, path)
+
+    def test_offsets_past_sidecar_end_detected(self, rt_model, tmp_path):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        meta, arrays = persistence._read_archive(path)
+        offsets = arrays["rep_offsets"].copy()
+        offsets[-1] = 10**9
+        arrays["rep_offsets"] = offsets
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="points past the end"):
+            load_processor(rt_model, path)
+
+    def test_missing_v2_metadata_array_detected(self, rt_model, tmp_path):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        meta, arrays = persistence._read_archive(path)
+        arrays.pop("column_offsets")
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="column_offsets"):
+            load_processor(rt_model, path)
+
+    def test_inconsistent_v2_metadata_arrays_detected(self, rt_model, tmp_path):
+        path = self._v2_snapshot(rt_model, tmp_path)
+        meta, arrays = persistence._read_archive(path)
+        arrays["codes_counts"] = arrays["codes_counts"][:-1]
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="disagree"):
+            load_processor(rt_model, path)
+
+    def test_v1_base_missing_rep_array_detected(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(2))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        meta, arrays = persistence._read_archive(path)
+        arrays.pop("rep_1")
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="rep_1"):
+            load_processor(rt_model, path)
+
+    def test_unsupported_version_rejected(self, rt_model, tmp_path):
+        service = _build_service(rt_model, _corpus(1))
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        meta, arrays = persistence._read_archive(path)
+        meta["version"] = 99
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="unsupported snapshot version"):
+            load_processor(rt_model, path)

@@ -24,12 +24,16 @@ from repro.nn import using_dtype
 from repro.serving import (
     CLOSED_FALLBACK_REASON,
     QueryWorkerPool,
+    SNAPSHOT_VERSION,
+    SNAPSHOT_VERSION_V2,
     SearchService,
     ServingConfig,
+    SnapshotError,
     WorkerPoolError,
     compact_snapshot,
     encode_tables_sharded,
     shard_tables,
+    snapshot_layout,
     snapshot_segments,
     split_shards,
 )
@@ -854,6 +858,206 @@ class TestSnapshotSegments:
         service.add_tables(serving_tables[4:5])
         with pytest.raises(ValueError, match="single-precision"):
             service.save_index(base, append=True)
+
+
+# --------------------------------------------------------------------------- #
+# Zero-copy mmap-shared snapshots (ServingConfig.mmap_index)
+# --------------------------------------------------------------------------- #
+def _is_mmap_backed(array: np.ndarray) -> bool:
+    while isinstance(array, np.ndarray):
+        if isinstance(array, np.memmap):
+            return True
+        array = array.base
+    return False
+
+
+class TestMmapServing:
+    """The mmap path must be invisible to queries and visible only in RSS.
+
+    Parity here is stricter than elsewhere in the file: copy-loaded and
+    mmap-loaded services read the *same* snapshot bytes, so their rankings
+    must agree to 1e-8 under either ``REPRO_DTYPE`` profile — there is no
+    re-encoding noise to forgive.
+    """
+
+    #: Same-bytes tolerance — NOT dtype-widened like ``_assert_rankings_match``.
+    PARITY_TOL = 1e-8
+
+    def _snapshot(self, model, tables, tmp_path, layout="v2"):
+        service = _make_service(model)
+        service.build(tables)
+        return service.save_index(tmp_path / "index.npz", layout=layout)
+
+    def _assert_same_rankings(self, a, b):
+        assert [t for t, _ in a.ranking] == [t for t, _ in b.ranking]
+        for (_, score_a), (_, score_b) in zip(a.ranking, b.ranking):
+            assert abs(score_a - score_b) <= self.PARITY_TOL
+
+    def test_mmap_load_matches_copy_load_in_process(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        path = self._snapshot(serving_model, serving_tables[:6], tmp_path)
+        copy = SearchService.load_index(
+            serving_model, path, ServingConfig(lsh_config=LSHConfig(num_bits=6))
+        )
+        mapped = SearchService.load_index(
+            serving_model,
+            path,
+            ServingConfig(lsh_config=LSHConfig(num_bits=6), mmap_index=True),
+        )
+        assert not copy.mmap_active
+        assert mapped.mmap_active
+        for table_id in mapped.table_ids:
+            encoded = mapped.scorer.encoded_table(table_id)
+            assert _is_mmap_backed(encoded.representations)
+            assert not encoded.representations.flags.writeable
+            assert not _is_mmap_backed(
+                copy.scorer.encoded_table(table_id).representations
+            )
+        for chart in query_charts:
+            for strategy in STRATEGIES:
+                self._assert_same_rankings(
+                    mapped.query(chart, k=5, strategy=strategy),
+                    copy.query(chart, k=5, strategy=strategy),
+                )
+
+    def test_mmap_workers_preload_the_snapshot_and_match_copy_pool(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        """Workers open the mapping themselves: first query ships nothing."""
+        path = self._snapshot(serving_model, serving_tables[:8], tmp_path)
+        base_config = dict(
+            lsh_config=LSHConfig(num_bits=6, hamming_radius=1),
+            query_workers=2,
+            worker_timeout=SHARD_TIMEOUT_SECONDS,
+        )
+        copy = SearchService.load_index(
+            serving_model, path, ServingConfig(**base_config)
+        )
+        mapped = SearchService.load_index(
+            serving_model, path, ServingConfig(mmap_index=True, **base_config)
+        )
+        try:
+            for chart in query_charts:
+                for strategy in STRATEGIES:
+                    self._assert_same_rankings(
+                        mapped.query(chart, k=5, strategy=strategy),
+                        copy.query(chart, k=5, strategy=strategy),
+                    )
+            _skip_unless_pool_ran(mapped)
+            _skip_unless_pool_ran(copy)
+            # The copy pool pickled every table through the pipe; the mmap
+            # pool shipped none — its workers mapped the snapshot at start.
+            assert sorted(mapped.query_pool.preloaded_table_ids) == sorted(
+                mapped.table_ids
+            )
+            assert mapped.query_pool.stats.tables_synced == 0
+            assert copy.query_pool.stats.tables_synced == len(copy.table_ids)
+            assert len(mapped.query_pool.worker_pids) == 2
+        finally:
+            mapped.close()
+            copy.close()
+
+    def test_mutations_after_mmap_load_stay_exact(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        """Post-load add/remove rides the normal sync path on top of mmap.
+
+        The nastiest case: a snapshot table is removed and its id re-added
+        with different content *before* the pool ever starts.  Workers
+        preload the stale snapshot version, so the service must re-ship
+        exactly the dirty table (and only it) on top of the mapping.
+        """
+        victim = serving_tables[0]
+        impostor = Table(victim.table_id, list(serving_tables[8].columns))
+        path = self._snapshot(serving_model, serving_tables[:5], tmp_path)
+        mapped = SearchService.load_index(
+            serving_model,
+            path,
+            ServingConfig(
+                lsh_config=LSHConfig(num_bits=6, hamming_radius=1),
+                query_workers=2,
+                worker_timeout=SHARD_TIMEOUT_SECONDS,
+                mmap_index=True,
+            ),
+        )
+        reference = _make_service(FCMModel(serving_model.config))
+        try:
+            mapped.remove_tables([victim.table_id])
+            mapped.add_tables([impostor])
+            reference.build([impostor] + serving_tables[1:5])
+            for chart in query_charts:
+                _assert_rankings_match(
+                    mapped.query(chart, k=5), reference.query(chart, k=5)
+                )
+            _skip_unless_pool_ran(mapped)
+            # Only the re-added table crossed the pipe; the other four were
+            # served straight from the workers' own mapping.
+            assert mapped.query_pool.stats.tables_synced == 1
+        finally:
+            mapped.close()
+
+    def test_v1_snapshot_falls_back_to_copy_load(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        """mmap_index=True over a v1 snapshot degrades, loudly inspectable."""
+        path = self._snapshot(
+            serving_model, serving_tables[:4], tmp_path, layout="v1"
+        )
+        assert snapshot_layout(path) == SNAPSHOT_VERSION
+        service = SearchService.load_index(
+            serving_model,
+            path,
+            ServingConfig(lsh_config=LSHConfig(num_bits=6), mmap_index=True),
+        )
+        assert not service.mmap_active
+        result = service.query(query_charts[0], k=3)
+        assert result.ranking
+
+    def test_mmap_service_saves_v2_by_default(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        service = _make_service(serving_model, mmap_index=True)
+        service.build(serving_tables[:3])
+        path = service.save_index(tmp_path / "index.npz")
+        assert snapshot_layout(path) == SNAPSHOT_VERSION_V2
+        # An explicit layout always wins over the config default.
+        v1_path = service.save_index(tmp_path / "v1.npz", layout="v1")
+        assert snapshot_layout(v1_path) == SNAPSHOT_VERSION
+        # Appends never rewrite the base, whatever the config says.
+        service.add_tables(serving_tables[3:4])
+        service.save_index(path, append=True)
+        assert snapshot_layout(path) == SNAPSHOT_VERSION_V2
+        assert len(snapshot_segments(path)) == 1
+
+    def test_service_compact_passthrough_migrates_layout(
+        self, serving_model, serving_tables, query_charts, tmp_path
+    ):
+        path = self._snapshot(
+            serving_model, serving_tables[:4], tmp_path, layout="v1"
+        )
+        SearchService.compact_snapshot(path, layout="v2")
+        assert snapshot_layout(path) == SNAPSHOT_VERSION_V2
+        mapped = SearchService.load_index(
+            serving_model,
+            path,
+            ServingConfig(lsh_config=LSHConfig(num_bits=6), mmap_index=True),
+        )
+        assert mapped.mmap_active
+        assert mapped.query(query_charts[0], k=3).ranking
+
+    def test_corrupt_snapshot_surfaces_snapshot_error(
+        self, serving_model, serving_tables, tmp_path
+    ):
+        path = self._snapshot(serving_model, serving_tables[:3], tmp_path)
+        sidecar = next(path.parent.glob(path.stem + ".g*.reps.npy"))
+        sidecar.unlink()
+        with pytest.raises(SnapshotError, match=sidecar.name):
+            SearchService.load_index(
+                serving_model,
+                path,
+                ServingConfig(lsh_config=LSHConfig(num_bits=6), mmap_index=True),
+            )
 
 
 # --------------------------------------------------------------------------- #
