@@ -51,6 +51,8 @@ from urllib.parse import urlsplit
 
 import numpy as np
 
+from provenance import stamp_results
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_http.json"
 
@@ -467,7 +469,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if cpus <= 1:
         report["caveat"] = SINGLE_CPU_CAVEAT
 
-    args.output.write_text(json.dumps(report, indent=1) + "\n")
+    args.output.write_text(json.dumps(stamp_results(report), indent=1) + "\n")
     print(f"wrote {args.output}")
     lat = sustained_summary.get("latency_ms", {})
     print(

@@ -30,6 +30,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_paper_scale.json"
 PROBE = Path(__file__).resolve().parent / "paper_scale_probe.py"
 
+from provenance import stamp_results  # noqa: E402
+
 #: Per-probe wall-clock guard.
 PROBE_TIMEOUT_SECONDS = 1200.0
 
@@ -86,7 +88,7 @@ def test_paper_scale_feasibility(record_result):
         "per_dtype": per_dtype,
         "float64_over_float32": reduction,
     }
-    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(stamp_results(report), indent=2) + "\n")
 
     lines = [
         "Paper-scale feasibility (paper_scale_config: 768-dim, 12 layers)",

@@ -53,6 +53,8 @@ from repro.serving import SearchService, ServingConfig
 from repro.serving.persistence import snapshot_encodings
 from repro.serving.workers import QueryWorkerPool
 
+from provenance import stamp_results
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_scale.json"
 
@@ -250,7 +252,7 @@ def test_scale_sweep(record_result):
         except ValueError:
             existing = {}
     existing.update(results)
-    BENCH_JSON.write_text(json.dumps(existing, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(stamp_results(existing), indent=2) + "\n")
     lines.append(f"  -> {BENCH_JSON.name}")
     record_result("scale_sweep", "\n".join(lines))
 
@@ -348,7 +350,7 @@ def test_mmap_worker_memory_parity(record_result):
         except ValueError:
             existing = {}
     existing.update(results)
-    BENCH_JSON.write_text(json.dumps(existing, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(stamp_results(existing), indent=2) + "\n")
     record_result(
         "scale_worker_memory",
         (

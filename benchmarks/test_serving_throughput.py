@@ -1,6 +1,6 @@
 """Serving-layer throughput: adds, warm queries, sharded builds, workers, snapshots.
 
-Five costs of running the hybrid index as a *service* rather than the
+Six costs of running the hybrid index as a *service* rather than the
 paper's one-shot batch build (Table VIII measures only the latter):
 
 * **incremental add vs. full rebuild** — appending a handful of tables to a
@@ -14,7 +14,12 @@ paper's one-shot batch build (Table VIII measures only the latter):
   scoring through the persistent process pool
   (``ServingConfig(query_workers=N)``), with a ranking-parity check;
 * **append-only snapshot vs. full rewrite** — persisting a 1-table delta as
-  a segment against rewriting the whole ``.npz`` archive.
+  a segment against rewriting the whole ``.npz`` archive;
+* **tracing overhead on the warm query path** — the cost of the
+  observability layer (``repro.obs``) both disabled (every instrumented
+  call site still executes one no-op ``span()`` check) and enabled
+  (recording a span tree per query), with a ranking-parity check between
+  the traced and untraced services.
 
 The multi-process numbers (sharded build, worker pool) only *win* on
 multi-core hosts; ``os.cpu_count()`` and a ``single_cpu`` flag are recorded
@@ -46,7 +51,10 @@ from repro.charts import render_chart_for_table
 from repro.data import CorpusConfig, filter_line_chart_records, generate_corpus
 from repro.fcm import FCMConfig, FCMModel
 from repro.index import LSHConfig
+from repro.obs import span
 from repro.serving import SearchService, ServingConfig, snapshot_segments
+
+from provenance import stamp_results
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_serving.json"
@@ -219,6 +227,70 @@ def test_serving_throughput(record_result):
         base_bytes = base_path.stat().st_size
         segment_bytes = Path(segment_path).stat().st_size
 
+    # ------------------------------------------------------------------ #
+    # 7. Tracing overhead on the warm query path
+    # ------------------------------------------------------------------ #
+    # Two distinct costs of the observability layer on the hot (cache-hit)
+    # path.  The *off* cost — what every query pays just because the call
+    # sites are instrumented — cannot be measured macroscopically (there is
+    # no uninstrumented build to compare against), so it is bounded by
+    # microbenchmarking a disabled ``span()`` and scaling by the number of
+    # spans a warm traced query actually records.  The *on* cost is the
+    # direct off-vs-on warm latency delta, measured interleaved so clock
+    # drift hits both sides equally.
+    traced_service = SearchService(
+        FCMModel(config),
+        ServingConfig(
+            lsh_config=LSHConfig(num_bits=10, hamming_radius=1), tracing=True
+        ),
+    )
+    traced_service.build(tables)
+
+    tracing_rounds = 30
+    for chart in charts:  # prime both result caches
+        incremental_service.query(chart, k=10)
+        traced_service.query(chart, k=10)
+    off_samples, on_samples = [], []
+    for _ in range(tracing_rounds):
+        for chart in charts:
+            start = time.perf_counter()
+            off_result = incremental_service.query(chart, k=10)
+            off_samples.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            on_result = traced_service.query(chart, k=10)
+            on_samples.append(time.perf_counter() - start)
+            # Tracing must never change what is served.
+            assert [t for t, _ in on_result.ranking] == [
+                t for t, _ in off_result.ranking
+            ]
+            assert (
+                max(
+                    abs(x - y)
+                    for (_, x), (_, y) in zip(on_result.ranking, off_result.ranking)
+                )
+                < 1e-8
+            )
+    warm_off_mean = float(np.mean(off_samples))
+    warm_on_mean = float(np.mean(on_samples))
+
+    trace_tree = traced_service.last_trace
+    assert trace_tree is not None
+
+    def _num_spans(node):
+        return 1 + sum(_num_spans(child) for child in node.get("children", ()))
+
+    warm_spans = _num_spans(trace_tree)
+
+    null_span_iters = 50_000
+    start = time.perf_counter()
+    for _ in range(null_span_iters):
+        with span("bench_disabled"):
+            pass
+    null_span_seconds = (time.perf_counter() - start) / null_span_iters
+    tracing_off_overhead = null_span_seconds * warm_spans / warm_off_mean
+    tracing_on_overhead = (warm_on_mean - warm_off_mean) / warm_off_mean
+    traced_service.close()
+
     results = {
         "benchmark": "serving_throughput",
         "scale": scale["name"],
@@ -266,8 +338,18 @@ def test_serving_throughput(record_result):
             "base_bytes": base_bytes,
             "segment_bytes": segment_bytes,
         },
+        "tracing": {
+            "rounds": tracing_rounds,
+            "num_queries": len(charts),
+            "warm_off_seconds_mean": warm_off_mean,
+            "warm_on_seconds_mean": warm_on_mean,
+            "on_overhead_fraction": tracing_on_overhead,
+            "null_span_seconds": null_span_seconds,
+            "spans_per_warm_traced_query": warm_spans,
+            "off_overhead_fraction": tracing_off_overhead,
+        },
     }
-    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    BENCH_JSON.write_text(json.dumps(stamp_results(results), indent=2) + "\n")
 
     lines = [
         f"Serving throughput ({scale['name']} scale, {len(tables)} tables, "
@@ -286,6 +368,10 @@ def test_serving_throughput(record_result):
         f"{rewrite_seconds * 1e3:.2f}ms"
         f"  ({results['snapshot']['append_speedup_vs_rewrite']:.1f}x, "
         f"segment {segment_bytes / 1024:.0f} KiB vs base {base_bytes / 1024:.0f} KiB)",
+        f"  tracing off / on (warm):     {warm_off_mean * 1e6:8.1f}us / "
+        f"{warm_on_mean * 1e6:.1f}us"
+        f"  (off-cost {tracing_off_overhead * 100:.3f}%, "
+        f"{warm_spans} spans/query)",
         f"  -> {BENCH_JSON.name}",
     ]
     if single_cpu:
@@ -299,6 +385,8 @@ def test_serving_throughput(record_result):
         assert warm_mean < cold_mean, results["query"]
         # A 1-table delta must beat rewriting the whole archive.
         assert append_seconds < rewrite_seconds, results["snapshot"]
+        # Disabled instrumentation must be invisible on the hot path.
+        assert tracing_off_overhead <= 0.05, results["tracing"]
         if num_cpus > 1 and sharded_used_processes:
             # Only assert a win where one is physically possible.
             assert sharded_build_seconds < full_build_seconds, results["build"]

@@ -48,6 +48,7 @@ from ..charts.rasterizer import LineChart
 from ..data.repository import DataRepository
 from ..data.table import Table
 from ..nn import Tensor
+from ..obs import span
 from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
 from .model import FCMModel
@@ -273,8 +274,9 @@ class FCMScorer:
         if hit is not None:
             self._query_cache.move_to_end(key)
             return hit
-        elements = self.extractor.extract(chart)
-        chart_input = prepare_chart_input(chart, elements, self.config)
+        with span("prepare_query"):
+            elements = self.extractor.extract(chart)
+            chart_input = prepare_chart_input(chart, elements, self.config)
         self._query_cache[key] = chart_input
         while len(self._query_cache) > self.QUERY_CACHE_SIZE:
             self._query_cache.popitem(last=False)
@@ -397,7 +399,8 @@ class FCMScorer:
         scores: Dict[str, float] = {}
         chunk = len(ids) if not batch_size else max(1, int(batch_size))
         with self.model.inference():
-            chart_repr = self.model.encode_chart(chart_input)
+            with span("encode_chart"):
+                chart_repr = self.model.encode_chart(chart_input)
             for start in range(0, len(ids), chunk):
                 chunk_ids = ids[start : start + chunk]
                 selected = [

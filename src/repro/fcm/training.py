@@ -37,6 +37,7 @@ from ..data.aggregation import AggregationSpec, sample_aggregation_spec
 from ..data.corpus import CorpusRecord
 from ..data.table import Table, UnderlyingData
 from ..nn import Adam, GradientClipper, balanced_binary_cross_entropy, pad_stack, stack
+from ..obs import get_logger
 from ..relevance import RelevanceComputer, relevance_cache
 from ..relevance.cache import data_fingerprint, table_fingerprint
 from ..vision.extractor import VisualElementExtractor
@@ -50,6 +51,8 @@ from .preprocessing import (
     resample_series,
 )
 from .sampling import NEGATIVE_STRATEGIES, batch_indices, select_negatives_batch
+
+_log = get_logger("repro.fcm.training")
 
 
 # --------------------------------------------------------------------------- #
@@ -483,13 +486,21 @@ class FCMTrainer:
                 self.model.eval()
                 metric = float(eval_fn(self.model))
                 self.model.train()
-            history.epochs.append(
-                EpochStats(
-                    epoch=epoch,
-                    loss=float(np.mean(epoch_losses)) if epoch_losses else float("nan"),
-                    seconds=elapsed,
-                    eval_metric=metric,
-                )
+            stats = EpochStats(
+                epoch=epoch,
+                loss=float(np.mean(epoch_losses)) if epoch_losses else float("nan"),
+                seconds=elapsed,
+                eval_metric=metric,
+            )
+            history.epochs.append(stats)
+            _log.info(
+                "epoch_finished",
+                epoch=stats.epoch,
+                total_epochs=self.config.epochs,
+                loss=stats.loss,
+                seconds=stats.seconds,
+                eval_metric=stats.eval_metric,
+                batches=len(epoch_losses),
             )
         self.model.eval()
         return history

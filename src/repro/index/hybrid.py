@@ -25,6 +25,7 @@ import numpy as np
 from ..charts.rasterizer import LineChart
 from ..data.table import Table
 from ..fcm.scorer import FCMScorer
+from ..obs import span
 from .interval_tree import IntervalTree
 from .lsh import LSHConfig, RandomHyperplaneLSH
 
@@ -229,11 +230,25 @@ class HybridQueryProcessor:
             return all_ids
         chart_input = self.scorer.prepare_query(chart)
         if strategy == "interval":
-            return self._interval_candidates(chart_input) & all_ids
+            with span("interval_tree") as sp:
+                found = self._interval_candidates(chart_input) & all_ids
+                if sp is not None:
+                    sp.attributes["candidates"] = len(found)
+            return found
         if strategy == "lsh":
-            return self._lsh_candidates(chart) & all_ids
-        interval_set = self._interval_candidates(chart_input)
-        lsh_set = self._lsh_candidates(chart)
+            with span("lsh_lookup") as sp:
+                found = self._lsh_candidates(chart) & all_ids
+                if sp is not None:
+                    sp.attributes["candidates"] = len(found)
+            return found
+        with span("interval_tree") as sp:
+            interval_set = self._interval_candidates(chart_input)
+            if sp is not None:
+                sp.attributes["candidates"] = len(interval_set)
+        with span("lsh_lookup") as sp:
+            lsh_set = self._lsh_candidates(chart)
+            if sp is not None:
+                sp.attributes["candidates"] = len(lsh_set)
         return interval_set & lsh_set & all_ids
 
     # ------------------------------------------------------------------ #
@@ -264,32 +279,48 @@ class HybridQueryProcessor:
         worker).
         """
         start = time.perf_counter()
-        candidate_ids = self.candidates(chart, strategy)
-        if not candidate_ids:
-            # An over-aggressive filter should degrade, not crash: fall back
-            # to verifying everything (still counted in the timing).
-            candidate_ids = set(self._tables.keys())
+        with span("candidates", strategy=strategy) as sp:
+            candidate_ids = self.candidates(chart, strategy)
+            if not candidate_ids:
+                # An over-aggressive filter should degrade, not crash: fall
+                # back to verifying everything (still counted in the timing).
+                candidate_ids = set(self._tables.keys())
+                if sp is not None:
+                    sp.attributes["empty_fallback"] = True
+            if sp is not None:
+                sp.attributes["candidates"] = len(candidate_ids)
+                sp.attributes["total_tables"] = len(self._tables)
         # FCM verification runs the batched no-grad path: one stacked matcher
         # forward per shard scores every surviving candidate.
         ordered = sorted(candidate_ids)
         num_shards = max(1, min(int(num_verify_shards), len(ordered) or 1))
         scores: Optional[Dict[str, float]] = None
-        if verifier is not None:
-            scores = verifier(self.scorer.prepare_query(chart), ordered, num_shards)
-        if scores is None:
-            if num_shards == 1:
-                scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
-            else:
-                shard_size = -(-len(ordered) // num_shards)  # ceil division
-                scores = {}
-                for shard_start in range(0, len(ordered), shard_size):
-                    scores.update(
-                        self.scorer.score_chart_batch(
-                            chart,
-                            table_ids=ordered[shard_start : shard_start + shard_size],
+        with span("verify", shards=num_shards, candidates=len(ordered)) as sp:
+            if verifier is not None:
+                scores = verifier(
+                    self.scorer.prepare_query(chart), ordered, num_shards
+                )
+                if sp is not None:
+                    sp.attributes["via_worker_pool"] = scores is not None
+            if scores is None:
+                if num_shards == 1:
+                    scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
+                else:
+                    shard_size = -(-len(ordered) // num_shards)  # ceil division
+                    scores = {}
+                    for shard_start in range(0, len(ordered), shard_size):
+                        scores.update(
+                            self.scorer.score_chart_batch(
+                                chart,
+                                table_ids=ordered[
+                                    shard_start : shard_start + shard_size
+                                ],
+                            )
                         )
-                    )
-        ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:k]
+        with span("merge", scored=len(scores)):
+            ranking = sorted(scores.items(), key=lambda item: item[1], reverse=True)[
+                :k
+            ]
         elapsed = time.perf_counter() - start
         return QueryResult(
             ranking=ranking,

@@ -1,0 +1,166 @@
+"""Structured event logging: one JSON (or text) line per event, on stderr.
+
+Gated by two environment variables, read once at first use:
+
+* ``REPRO_LOG`` — ``off`` (default), ``info`` or ``debug``;
+* ``REPRO_LOG_FORMAT`` — ``json`` (default) or ``text``.
+
+Every record carries a UTC timestamp, the level, the logger name and an
+``event`` slug, plus arbitrary keyword fields::
+
+    {"ts": "2026-08-07T12:00:00.123+00:00", "level": "info",
+     "logger": "repro.serving.persistence", "event": "snapshot_saved",
+     "path": "index.npz", "tables": 120, "seconds": 0.41}
+
+Loggers are cheap to create and hold no state beyond their name; the
+enabled check is one shared config read, so instrumented hot paths pay a
+function call and an integer compare when logging is off.
+:func:`configure_logging` overrides the environment for tests and embedding
+applications (pass ``stream=`` to capture records).
+
+Non-JSON-native field values (paths, numpy scalars, dataclasses) are
+stringified rather than raised on — a log line must never take down the
+operation it describes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from typing import IO, Optional
+
+_LEVELS = {"off": 0, "info": 1, "debug": 2}
+
+
+@dataclass
+class LogConfig:
+    """Resolved logging configuration (see module docstring for the envs)."""
+
+    level: int = 0
+    format: str = "json"
+    stream: Optional[IO] = None  # None = sys.stderr at emit time
+
+    @staticmethod
+    def from_env() -> "LogConfig":
+        raw_level = os.environ.get("REPRO_LOG", "off").strip().lower()
+        level = _LEVELS.get(raw_level)
+        if level is None:
+            # An operator typo must not silently disable logging: accept
+            # common truthy spellings as "info", anything else as off.
+            level = 1 if raw_level in ("1", "true", "yes", "on") else 0
+        fmt = os.environ.get("REPRO_LOG_FORMAT", "json").strip().lower()
+        if fmt not in ("json", "text"):
+            fmt = "json"
+        return LogConfig(level=level, format=fmt)
+
+
+_config: Optional[LogConfig] = None
+_config_lock = threading.Lock()
+
+
+def _get_config() -> LogConfig:
+    global _config
+    if _config is None:
+        with _config_lock:
+            if _config is None:
+                _config = LogConfig.from_env()
+    return _config
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    format: Optional[str] = None,
+    stream: Optional[IO] = None,
+) -> LogConfig:
+    """Override the env-derived configuration (tests, embedding apps).
+
+    Unset arguments keep their current value; ``configure_logging()`` with
+    no arguments re-reads the environment from scratch.
+    """
+    global _config
+    with _config_lock:
+        if level is None and format is None and stream is None:
+            _config = LogConfig.from_env()
+            return _config
+        base = _config or LogConfig.from_env()
+        if level is not None:
+            if level not in _LEVELS:
+                raise ValueError(
+                    f"unknown log level {level!r}; expected one of {sorted(_LEVELS)}"
+                )
+            base = LogConfig(
+                level=_LEVELS[level], format=base.format, stream=base.stream
+            )
+        if format is not None:
+            if format not in ("json", "text"):
+                raise ValueError("format must be 'json' or 'text'")
+            base = LogConfig(level=base.level, format=format, stream=base.stream)
+        if stream is not None:
+            base = LogConfig(level=base.level, format=base.format, stream=stream)
+        _config = base
+        return _config
+
+
+def _jsonable(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    try:  # numpy scalars
+        return value.item()
+    except (AttributeError, ValueError):
+        return str(value)
+
+
+class ObsLogger:
+    """A named emitter of structured events (see :func:`get_logger`)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def enabled(self, level: str = "info") -> bool:
+        return _get_config().level >= _LEVELS.get(level, 1)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit(1, "info", event, fields)
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit(2, "debug", event, fields)
+
+    def _emit(self, threshold: int, level: str, event: str, fields: dict) -> None:
+        config = _get_config()
+        if config.level < threshold:
+            return
+        stream = config.stream or sys.stderr
+        ts = datetime.now(timezone.utc).isoformat(timespec="milliseconds")
+        try:
+            if config.format == "json":
+                record = {"ts": ts, "level": level, "logger": self.name, "event": event}
+                for key, value in fields.items():
+                    record[key] = _jsonable(value)
+                line = json.dumps(record, ensure_ascii=False)
+            else:
+                rendered = " ".join(
+                    f"{key}={_jsonable(value)!r}" for key, value in fields.items()
+                )
+                line = f"{ts} {level.upper()} {self.name} {event}" + (
+                    f" {rendered}" if rendered else ""
+                )
+            stream.write(line + "\n")
+            stream.flush()
+        except Exception:
+            # Logging must never take down the operation it describes.
+            pass
+
+
+def get_logger(name: str) -> ObsLogger:
+    """A structured logger for ``name`` (conventionally the module path)."""
+    return ObsLogger(name)

@@ -24,6 +24,7 @@ from .protocol import (
     ProtocolError,
     chart_payload_from_series,
     parse_chart_payload,
+    parse_query_debug,
     parse_query_payload,
     parse_snapshot_payload,
     parse_table_payload,
@@ -33,19 +34,20 @@ from .protocol import (
 )
 from .server import (
     ChartSearchServer,
-    EndpointMetrics,
+    EndpointMetricsRegistry,
     HTTPServingConfig,
     MetricsRegistry,
 )
 
 __all__ = [
     "ChartSearchServer",
-    "EndpointMetrics",
+    "EndpointMetricsRegistry",
     "HTTPServingConfig",
     "MetricsRegistry",
     "ProtocolError",
     "chart_payload_from_series",
     "parse_chart_payload",
+    "parse_query_debug",
     "parse_query_payload",
     "parse_snapshot_payload",
     "parse_table_payload",

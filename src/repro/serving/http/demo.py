@@ -66,6 +66,7 @@ def build_demo_service(
     seed: int = 7,
     query_workers: int = 0,
     epochs: int = 0,
+    tracing: bool = False,
 ) -> Tuple[SearchService, List]:
     """An indexed :class:`SearchService` over the demo corpus.
 
@@ -89,6 +90,7 @@ def build_demo_service(
         ServingConfig(
             lsh_config=LSHConfig(num_bits=10, hamming_radius=1),
             query_workers=query_workers,
+            tracing=tracing,
         ),
     )
     service.build([record.table for record in records])
@@ -129,6 +131,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="default target of POST /snapshot",
     )
+    parser.add_argument(
+        "--tracing",
+        action="store_true",
+        help="trace every query end-to-end (span trees; see REPRO_SLOW_QUERY_MS "
+        "and the per-request debug.trace flag)",
+    )
     args = parser.parse_args(argv)
 
     print(f"building index over {args.tables} synthetic tables (seed {args.seed})...")
@@ -137,6 +145,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seed=args.seed,
         query_workers=args.query_workers,
         epochs=args.epochs,
+        tracing=args.tracing,
     )
     server = ChartSearchServer(
         service,
@@ -145,6 +154,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             port=args.port,
             max_inflight=args.max_inflight,
             snapshot_path=args.snapshot_path,
+            tracing=args.tracing,
         ),
     ).start()
     print(f"serving {service.num_tables} tables at {server.url}")

@@ -114,6 +114,35 @@ def parse_chart_payload(payload: object, spec: ChartSpec) -> LineChart:
     return render_line_chart(UnderlyingData(series=series), spec=spec)
 
 
+#: Recognised flags of the optional ``POST /query`` ``debug`` object.
+QUERY_DEBUG_KEYS = ("trace", "profile")
+
+
+def parse_query_debug(payload: object) -> Dict[str, bool]:
+    """Validate the optional ``debug`` object of a ``POST /query`` body.
+
+    ``{"debug": {"trace": true}}`` asks for the query's span tree in the
+    response and ``{"debug": {"profile": true}}`` for a per-request cProfile
+    capture (see :mod:`repro.obs.profiling`); both default to off.  A
+    request without a ``debug`` key returns all-false — and gets the exact
+    byte-identical response body an older client would, since the ``debug``
+    response field is only emitted when asked for.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    debug = payload.get("debug")
+    if debug is None:
+        return {key: False for key in QUERY_DEBUG_KEYS}
+    _require(isinstance(debug, dict), "debug must be a JSON object")
+    unknown = set(debug) - set(QUERY_DEBUG_KEYS)
+    _require(not unknown, f"unknown debug keys: {sorted(unknown)}")
+    flags = {}
+    for key in QUERY_DEBUG_KEYS:
+        value = debug.get(key, False)
+        _require(isinstance(value, bool), f"debug.{key} must be a boolean")
+        flags[key] = value
+    return flags
+
+
 def parse_query_payload(
     payload: object, spec: ChartSpec
 ) -> Tuple[LineChart, int, str]:
@@ -121,10 +150,11 @@ def parse_query_payload(
 
     ``k`` is required and must be a positive integer; ``strategy`` defaults
     to ``"hybrid"`` and must be one of
-    :data:`repro.index.hybrid.INDEXING_STRATEGIES`.
+    :data:`repro.index.hybrid.INDEXING_STRATEGIES`.  The optional ``debug``
+    object is validated separately by :func:`parse_query_debug`.
     """
     _require(isinstance(payload, dict), "request body must be a JSON object")
-    unknown = set(payload) - {"chart", "k", "strategy"}
+    unknown = set(payload) - {"chart", "k", "strategy", "debug"}
     _require(not unknown, f"unknown request keys: {sorted(unknown)}")
     _require("chart" in payload, "missing required key 'chart'")
     _require("k" in payload, "missing required key 'k'")

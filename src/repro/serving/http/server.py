@@ -16,7 +16,20 @@ Endpoints
 ``GET /healthz``            liveness (503 while draining)
 ``GET /metrics``            per-endpoint latency/status counters + the
                             per-strategy stats the service already tracks
+                            (JSON; ``?format=prometheus`` renders the same
+                            registry in the Prometheus text exposition)
 ==========================  =================================================
+
+Observability (see :mod:`repro.obs`): every endpoint's counters live in a
+per-server :class:`repro.obs.metrics.MetricsRegistry`; with
+``HTTPServingConfig(tracing=True)`` each ``POST /query`` runs under a trace
+whose span tree covers admission → render → cache → candidates → verify →
+merge (plus worker-side spans when the service uses a query worker pool),
+feeds the ``REPRO_SLOW_QUERY_MS`` slow-query log and can be returned to the
+client via ``{"debug": {"trace": true}}`` in the request body.
+``{"debug": {"profile": true}}`` wraps just that request's service call in
+``cProfile`` and returns the formatted profile.  Responses without a
+``debug`` request key are byte-identical to an uninstrumented server's.
 
 Failure-path behaviour — the part a real client hits first — is explicit:
 
@@ -47,21 +60,34 @@ import json
 import math
 import threading
 import time
-from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs
 
-import numpy as np
-
+from ...obs import (
+    MetricsRegistry as ObsMetricsRegistry,
+    Span,
+    get_logger,
+    maybe_log_slow_query,
+    profile_block,
+    span,
+    start_trace,
+)
 from ..service import SearchService
 from .protocol import (
     ProtocolError,
+    parse_query_debug,
     parse_query_payload,
     parse_snapshot_payload,
     parse_tables_payload,
     query_result_to_dict,
 )
+
+_log = get_logger("repro.serving.http")
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 @dataclass
@@ -92,6 +118,17 @@ class HTTPServingConfig:
         When true, :meth:`ChartSearchServer.close` also closes the wrapped
         :class:`~repro.serving.service.SearchService` (releasing its query
         worker pool).
+    tracing:
+        When true, every ``POST /query`` runs under a per-request trace
+        minted at the HTTP boundary: the span tree covers admission,
+        payload render, the service stages and any worker-side spans, lands
+        on :attr:`ChartSearchServer.last_trace`, feeds the
+        ``REPRO_SLOW_QUERY_MS`` slow-query log and is returned to clients
+        that ask with ``{"debug": {"trace": true}}``.  Off by default: the
+        warm query path then costs one context-variable read per
+        instrumented stage (bounded ≤5 % in ``BENCH_serving.json``).  A
+        ``debug.trace`` request against an untraced server still gets a
+        (service-stage) trace — only that request pays for it.
     """
 
     host: str = "127.0.0.1"
@@ -102,6 +139,7 @@ class HTTPServingConfig:
     drain_timeout: float = 10.0
     snapshot_path: Optional[str] = None
     close_service: bool = True
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.max_inflight < 1:
@@ -114,76 +152,97 @@ class HTTPServingConfig:
             raise ValueError("drain_timeout must be >= 0")
 
 
-#: Ring size for per-endpoint latency percentiles: enough resolution for a
-#: p99 over a sustained load-gen phase, bounded so a long-lived server's
-#: metrics memory never grows with traffic.
-_LATENCY_RING = 4096
+class EndpointMetricsRegistry:
+    """Per-endpoint request counters over :mod:`repro.obs` primitives.
 
+    Each :class:`ChartSearchServer` owns one (backed by a private
+    :class:`repro.obs.metrics.MetricsRegistry`, so two servers in one
+    process never mix counts).  The obs registry is the single source of
+    truth with two read surfaces: :meth:`snapshot` reshapes it into the
+    pinned per-endpoint JSON of ``GET /metrics``, and the registry's own
+    ``render_prometheus`` serves ``GET /metrics?format=prometheus``.
+    Concurrent ``observe`` calls from ``ThreadingHTTPServer`` handler
+    threads are safe — all mutation goes through the registry's lock.
+    """
 
-@dataclass
-class EndpointMetrics:
-    """Latency/status counters for one ``METHOD /route`` pair."""
-
-    requests: int = 0
-    status_counts: Dict[str, int] = field(default_factory=dict)
-    total_seconds: float = 0.0
-    max_seconds: float = 0.0
-    recent_seconds: "deque[float]" = field(
-        default_factory=lambda: deque(maxlen=_LATENCY_RING)
-    )
-
-    def observe(self, status: int, seconds: float) -> None:
-        self.requests += 1
-        key = str(int(status))
-        self.status_counts[key] = self.status_counts.get(key, 0) + 1
-        self.total_seconds += seconds
-        self.max_seconds = max(self.max_seconds, seconds)
-        self.recent_seconds.append(seconds)
-
-    def snapshot(self) -> Dict:
-        recent = np.asarray(self.recent_seconds, dtype=np.float64)
-        latency_ms: Dict[str, float] = {
-            "mean": (self.total_seconds / self.requests * 1e3)
-            if self.requests
-            else 0.0,
-            "max": self.max_seconds * 1e3,
-        }
-        if recent.size:
-            p50, p95, p99 = np.percentile(recent, [50.0, 95.0, 99.0]) * 1e3
-            latency_ms.update(p50=float(p50), p95=float(p95), p99=float(p99))
-        return {
-            "requests": self.requests,
-            "status_counts": dict(sorted(self.status_counts.items())),
-            "latency_ms": latency_ms,
-        }
-
-
-class MetricsRegistry:
-    """Thread-safe per-endpoint counters exported on ``GET /metrics``."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._endpoints: Dict[str, EndpointMetrics] = {}
-        self.rejected_429 = 0
-        self.draining_503 = 0
+    def __init__(self, registry: Optional[ObsMetricsRegistry] = None) -> None:
+        self.registry = registry or ObsMetricsRegistry()
+        self._requests = self.registry.counter(
+            "http_requests_total", "requests served, by endpoint and status"
+        )
+        self._latency = self.registry.histogram(
+            "http_request_latency_ms",
+            "request latency in milliseconds, by endpoint",
+        )
+        self._rejected = self.registry.counter(
+            "http_admission_rejected_total",
+            "requests answered 429 at the admission bound",
+        )
+        self._draining = self.registry.counter(
+            "http_draining_rejected_total",
+            "requests answered 503 while the server drained",
+        )
 
     def observe(self, endpoint: str, status: int, seconds: float) -> None:
-        with self._lock:
-            metrics = self._endpoints.get(endpoint)
-            if metrics is None:
-                metrics = self._endpoints[endpoint] = EndpointMetrics()
-            metrics.observe(status, seconds)
-            if status == 429:
-                self.rejected_429 += 1
-            elif status == 503:
-                self.draining_503 += 1
+        status_label = str(int(status))
+        self._requests.inc(endpoint=endpoint, status=status_label)
+        self._latency.observe(seconds * 1e3, endpoint=endpoint)
+        if status == 429:
+            self._rejected.inc()
+        elif status == 503:
+            self._draining.inc()
+
+    @property
+    def rejected_429(self) -> int:
+        return int(self._rejected.value())
+
+    @property
+    def draining_503(self) -> int:
+        return int(self._draining.value())
 
     def snapshot(self) -> Dict:
-        with self._lock:
-            return {
-                name: metrics.snapshot()
-                for name, metrics in sorted(self._endpoints.items())
+        """The per-endpoint JSON view (requests, status_counts, latency_ms)."""
+        snap = self.registry.snapshot()
+        endpoints: Dict[str, Dict] = {}
+        for entry in snap["http_requests_total"]["series"]:
+            endpoint = entry["labels"]["endpoint"]
+            status = entry["labels"]["status"]
+            info = endpoints.setdefault(
+                endpoint,
+                {
+                    "requests": 0,
+                    "status_counts": {},
+                    "latency_ms": {"mean": 0.0, "max": 0.0},
+                },
+            )
+            info["requests"] += int(entry["value"])
+            info["status_counts"][status] = info["status_counts"].get(
+                status, 0
+            ) + int(entry["value"])
+        for entry in snap["http_request_latency_ms"]["series"]:
+            info = endpoints.get(entry["labels"]["endpoint"])
+            if info is None:
+                continue
+            info["latency_ms"] = {
+                "mean": entry["mean"],
+                "max": entry["max"],
+                "p50": entry["p50"],
+                "p95": entry["p95"],
+                "p99": entry["p99"],
             }
+        return {
+            name: {
+                "requests": info["requests"],
+                "status_counts": dict(sorted(info["status_counts"].items())),
+                "latency_ms": info["latency_ms"],
+            }
+            for name, info in sorted(endpoints.items())
+        }
+
+
+#: Backwards-compatible alias: the HTTP tier's registry used to be a
+#: standalone class of this name before it was rebuilt over ``repro.obs``.
+MetricsRegistry = EndpointMetricsRegistry
 
 
 class ChartSearchServer:
@@ -210,7 +269,11 @@ class ChartSearchServer:
     ) -> None:
         self.service = service
         self.config = config or HTTPServingConfig()
-        self.metrics = MetricsRegistry()
+        self.metrics = EndpointMetricsRegistry()
+        #: Serialised span tree of the most recent traced ``POST /query``
+        #: (``HTTPServingConfig(tracing=True)`` or a ``debug.trace``
+        #: request); ``None`` until one completes.
+        self.last_trace: Optional[Dict] = None
         self._service_lock = threading.Lock()
         self._admission = threading.BoundedSemaphore(self.config.max_inflight)
         self._inflight = 0
@@ -260,6 +323,13 @@ class ChartSearchServer:
                 daemon=True,
             )
             self._thread.start()
+            _log.info(
+                "server_started",
+                url=self.url,
+                max_inflight=self.config.max_inflight,
+                tracing=self.config.tracing,
+                num_tables=self.service.num_tables,
+            )
         return self
 
     def close(self, drain_timeout: Optional[float] = None) -> None:
@@ -291,6 +361,7 @@ class ChartSearchServer:
         if self.config.close_service:
             self.service.close()
         self._closed = True
+        _log.info("server_closed", url=self.url)
 
     def __enter__(self) -> "ChartSearchServer":
         return self.start()
@@ -315,10 +386,50 @@ class ChartSearchServer:
     # Endpoint implementations (called under admission; service calls
     # additionally take the service lock)
     # ------------------------------------------------------------------ #
-    def handle_query(self, payload: object) -> Tuple[int, Dict]:
-        chart, k, strategy = parse_query_payload(
-            payload, self.service.model.config.chart_spec
-        )
+    def handle_query(
+        self,
+        read_body: Callable[[], object],
+        request_start: Optional[float] = None,
+    ) -> Tuple[int, Dict]:
+        """Serve one ``POST /query``.
+
+        ``read_body`` is deferred so a traced request's payload read +
+        chart render land inside the trace's ``render`` span;
+        ``request_start`` (the dispatcher's clock at request entry) becomes
+        the pre-measured ``admission`` span.  Untraced requests — no server
+        tracing, no ``debug`` flags — take the plain path and produce
+        byte-identical response bodies.
+        """
+        spec = self.service.model.config.chart_spec
+        if self.config.tracing:
+            with start_trace("http_query") as root:
+                if request_start is not None:
+                    admission = Span("admission")
+                    admission.duration = time.perf_counter() - request_start
+                    root.attach(admission)
+                with span("render"):
+                    payload = read_body()
+                    chart, k, strategy = parse_query_payload(payload, spec)
+                    debug = parse_query_debug(payload)
+                root.attributes.update(k=k, strategy=strategy)
+                status, body = self._query_service(chart, k, strategy, debug)
+            return status, self._finish_trace(root, body, debug)
+        payload = read_body()
+        chart, k, strategy = parse_query_payload(payload, spec)
+        debug = parse_query_debug(payload)
+        if debug["trace"]:
+            # Per-request opt-in on an untraced server: the body is already
+            # parsed, so the tree starts at the service stages.
+            with start_trace("http_query", k=k, strategy=strategy) as root:
+                status, body = self._query_service(chart, k, strategy, debug)
+            return status, self._finish_trace(root, body, debug)
+        return self._query_service(chart, k, strategy, debug)
+
+    def _query_service(
+        self, chart, k: int, strategy: str, debug: Dict[str, bool]
+    ) -> Tuple[int, Dict]:
+        """The service call under the lock (+ optional per-request profile)."""
+        profile_capture = None
         with self._service_lock:
             if self.service.num_tables == 0:
                 return 200, {
@@ -329,8 +440,29 @@ class ChartSearchServer:
                     "total_tables": 0,
                     "seconds": 0.0,
                 }
-            result = self.service.query(chart, k, strategy=strategy)
-        return 200, query_result_to_dict(result, k, strategy)
+            if debug["profile"]:
+                # Scoped to exactly this request's service call: neighbours
+                # on other handler threads are queued on the service lock
+                # anyway, so nothing else runs under the profiler.
+                with profile_block() as profile_capture:
+                    result = self.service.query(chart, k, strategy=strategy)
+            else:
+                result = self.service.query(chart, k, strategy=strategy)
+        body = query_result_to_dict(result, k, strategy)
+        if profile_capture is not None:
+            body.setdefault("debug", {})["profile"] = profile_capture.text(top=30)
+        return 200, body
+
+    def _finish_trace(
+        self, root: Span, body: Dict, debug: Dict[str, bool]
+    ) -> Dict:
+        """Record a finished query trace; return ``body`` (+- debug.trace)."""
+        tree = root.to_dict()
+        self.last_trace = tree
+        maybe_log_slow_query(tree)
+        if debug["trace"]:
+            body.setdefault("debug", {})["trace"] = tree
+        return body
 
     def handle_add_tables(self, payload: object) -> Tuple[int, Dict]:
         tables = parse_tables_payload(payload)
@@ -381,7 +513,73 @@ class ChartSearchServer:
         }
         return (503 if self.draining else 200), body
 
-    def handle_metrics(self) -> Tuple[int, Dict]:
+    def _mirror_service_metrics(self) -> None:
+        """Mirror service/admission state into the Prometheus registry.
+
+        :class:`~repro.serving.service.ServiceStats` stays the source of
+        truth (the JSON body reads it directly); this copies the current
+        totals into obs counters/gauges at scrape time so both formats
+        always agree.
+        """
+        registry = self.metrics.registry
+        service_stats = self.service.stats
+
+        registry.gauge(
+            "http_uptime_seconds", "Seconds since the server started."
+        ).set(time.monotonic() - self._started_monotonic)
+        registry.gauge(
+            "http_inflight_requests", "Admitted requests currently in flight."
+        ).set(self.inflight)
+        registry.gauge(
+            "service_tables", "Tables currently in the live index."
+        ).set(self.service.num_tables)
+
+        queries = registry.counter(
+            "service_queries_total", "Queries served, by indexing strategy."
+        )
+        cache_hits = registry.counter(
+            "service_cache_hits_total", "Result-cache hits, by strategy."
+        )
+        for strategy, stats in service_stats.summary().items():
+            queries.set_total(stats["queries"], strategy=strategy)
+            cache_hits.set_total(stats["cache_hits"], strategy=strategy)
+        registry.counter(
+            "service_tables_added_total", "Tables added to the live index."
+        ).set_total(service_stats.tables_added)
+        registry.counter(
+            "service_tables_removed_total", "Tables removed from the index."
+        ).set_total(service_stats.tables_removed)
+        registry.counter(
+            "service_cache_invalidations_total",
+            "Result-cache invalidations caused by index mutations.",
+        ).set_total(service_stats.invalidations)
+        registry.counter(
+            "service_worker_queries_total",
+            "Queries whose verification ran on the worker pool.",
+        ).set_total(service_stats.worker_queries)
+        registry.counter(
+            "service_worker_fallbacks_total",
+            "Queries that fell back to in-process verification.",
+        ).set_total(service_stats.worker_fallbacks)
+        fallback_active = registry.gauge(
+            "service_worker_fallback_active",
+            "1 while the worker pool is sticky-disabled, by cause.",
+        )
+        active_kind = service_stats.worker_fallback_kind
+        for kind in ("failure", "closed"):
+            fallback_active.set(
+                1.0 if kind == active_kind else 0.0, kind=kind
+            )
+
+    def handle_metrics(self, fmt: str = "json") -> Tuple[int, Union[Dict, str]]:
+        if fmt not in ("json", "prometheus"):
+            raise ProtocolError(
+                f"unknown metrics format {fmt!r}; expected 'json' or "
+                "'prometheus'"
+            )
+        self._mirror_service_metrics()
+        if fmt == "prometheus":
+            return 200, self.metrics.registry.render_prometheus()
         service_stats = self.service.stats
         body = {
             "uptime_seconds": time.monotonic() - self._started_monotonic,
@@ -401,6 +599,7 @@ class ChartSearchServer:
                 "worker_queries": service_stats.worker_queries,
                 "worker_fallbacks": service_stats.worker_fallbacks,
                 "worker_fallback_reason": self.service.worker_fallback_reason,
+                "worker_fallback_kind": service_stats.worker_fallback_kind,
             },
         }
         return 200, body
@@ -444,6 +643,17 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, body: str) -> None:
+        """Send a Prometheus text-exposition body (the one non-JSON reply)."""
+        data = body.encode("utf-8")
+        self.send_response(int(status))
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(data)))
+        if self.close_connection:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(data)
+
     def _read_json_body(self) -> object:
         length_header = self.headers.get("Content-Length")
         if length_header is None:
@@ -476,16 +686,22 @@ class _RequestHandler(BaseHTTPRequestHandler):
         if method == "GET" and path == "/healthz":
             return "GET /healthz", owner.handle_healthz, False
         if method == "GET" and path == "/metrics":
-            return "GET /metrics", owner.handle_metrics, False
+            query_string = self.path.partition("?")[2]
+            fmt = parse_qs(query_string).get("format", ["json"])[0]
+            return "GET /metrics", lambda: owner.handle_metrics(fmt), False
         if method == "GET" and path == "/tables":
             return "GET /tables", owner.handle_list_tables, True
         # Bodies are read inside the thunk: after admission (a rejected
         # request never pays the read) and under the endpoint's own metrics
         # label (a malformed /query body is a `POST /query` 400).
         if method == "POST" and path == "/query":
+            # The body-reading callable is handed over uncalled so a traced
+            # request can parse it inside its `render` span.
             return (
                 "POST /query",
-                lambda: owner.handle_query(self._read_json_body()),
+                lambda: owner.handle_query(
+                    self._read_json_body, request_start=self._dispatch_start
+                ),
                 True,
             )
         if method == "POST" and path == "/tables":
@@ -524,6 +740,9 @@ class _RequestHandler(BaseHTTPRequestHandler):
         # must not grow the per-endpoint registry without bound.
         endpoint = f"{method} <unrouted>"
         start = time.perf_counter()
+        # Exposed so the /query route can hand the request's entry time to
+        # the tracer (the `admission` span measures routing + admission).
+        self._dispatch_start = start
         status = 500
         owner._enter_request()
         try:
@@ -568,7 +787,10 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     owner._admission.release()
             else:
                 status, body = thunk()
-            self._send_json(status, body)
+            if isinstance(body, str):
+                self._send_text(status, body)
+            else:
+                self._send_json(status, body)
         except ProtocolError as exc:
             status = exc.status
             self._send_json(status, {"error": str(exc)})

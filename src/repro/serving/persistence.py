@@ -92,6 +92,9 @@ from ..fcm.scorer import EncodedTable, FCMScorer
 from ..index.hybrid import HybridQueryProcessor
 from ..index.interval_tree import Interval, IntervalTree
 from ..index.lsh import LSHConfig, RandomHyperplaneLSH
+from ..obs import get_logger
+
+_log = get_logger("repro.serving.persistence")
 
 PathLike = Union[str, Path]
 
@@ -304,13 +307,22 @@ def _sidecar_files(base: Path) -> List[Tuple[int, Path]]:
 
 def _cleanup_sidecars(base: Path, keep_generation: Optional[int] = None) -> None:
     """Delete sidecar generations the base no longer references (best-effort)."""
+    removed = 0
     for generation, candidate in _sidecar_files(base):
         if keep_generation is not None and generation == keep_generation:
             continue
         try:
             candidate.unlink()
+            removed += 1
         except OSError:
             pass  # a mapped-but-deleted file stays readable; leftovers are inert
+    if removed:
+        _log.info(
+            "sidecars_collected",
+            base=str(base),
+            removed=removed,
+            kept_generation=keep_generation,
+        )
 
 
 def _next_generation(base: Path) -> int:
@@ -949,7 +961,14 @@ def save_processor(
     for stale_segment in reversed(snapshot_segments(Path(path))):
         stale_segment.unlink()
     writer = _write_v2_base if version == SNAPSHOT_VERSION_V2 else _write_v1_base
-    return writer(Path(path), header, states)
+    written = writer(Path(path), header, states)
+    _log.info(
+        "snapshot_saved",
+        path=str(written),
+        tables=len(states),
+        layout="v2" if version == SNAPSHOT_VERSION_V2 else "v1",
+    )
+    return written
 
 
 def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
@@ -1016,6 +1035,7 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
         if table_id not in current_set or table_id in changed
     ]
     if not new_ids and not tombstones:
+        _log.debug("segment_skipped_empty_delta", base=str(base))
         return base  # empty delta: the snapshot already records this state
 
     numbers = [int(_SEGMENT_RE.search(s.name).group(1)) for s in segments]
@@ -1037,7 +1057,15 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
     segment_path = base.parent / (
         base.stem + _SEGMENT_SUFFIX.format(number=next_number)
     )
-    return _write_archive(segment_path, meta, arrays)
+    written = _write_archive(segment_path, meta, arrays)
+    _log.info(
+        "segment_saved",
+        path=str(written),
+        segment=next_number,
+        added=len(new_ids),
+        tombstones=len(tombstones),
+    )
+    return written
 
 
 def compact_snapshot(path: PathLike, layout: Union[str, int, None] = None) -> Path:
@@ -1080,6 +1108,13 @@ def compact_snapshot(path: PathLike, layout: Union[str, int, None] = None) -> Pa
     base = writer(base, header, list(tables.values()))
     for segment in segments:
         segment.unlink()
+    _log.info(
+        "snapshot_compacted",
+        path=str(base),
+        tables=len(tables),
+        segments_folded=len(segments),
+        layout="v2" if target_version == SNAPSHOT_VERSION_V2 else "v1",
+    )
     return base
 
 
@@ -1188,5 +1223,12 @@ def load_processor(
     processor.interval_tree = IntervalTree(
         Interval(low=low, high=high, table_id=table_id, column_name=column_name)
         for low, high, table_id, column_name in interval_rows
+    )
+    _log.info(
+        "snapshot_loaded",
+        path=str(base),
+        tables=len(tables),
+        mmap=mmap,
+        dtype=snapshot_dtype,
     )
     return processor

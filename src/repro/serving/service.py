@@ -44,6 +44,7 @@ from ..index.hybrid import (
     QueryResult,
 )
 from ..index.lsh import LSHConfig
+from ..obs import current_span, get_logger, maybe_log_slow_query, span, start_trace
 from ..vision.extractor import VisualElementExtractor
 from .persistence import (
     SNAPSHOT_VERSION_V2,
@@ -55,6 +56,8 @@ from .persistence import (
 )
 from .sharding import ShardBuildReport, encode_tables_sharded
 from .workers import QueryWorkerPool, split_shards
+
+_log = get_logger("repro.serving.service")
 
 #: The sticky fallback reason recorded by :meth:`SearchService.close`:
 #: queries after ``close()`` serve in-process instead of silently
@@ -122,6 +125,15 @@ class ServingConfig:
         the one page-cache copy.  A v1 snapshot still loads — as an
         in-process copy (the fallback; :attr:`SearchService.mmap_active`
         reports which path is live).  Default ``False`` (copy path).
+    tracing:
+        When ``True``, :meth:`SearchService.query` opens a trace root for
+        every query served without an ambient trace (callers that already
+        started one — the HTTP tier — keep their own root): the finished
+        span tree lands on :attr:`SearchService.last_trace` and feeds the
+        ``REPRO_SLOW_QUERY_MS`` slow-query log.  Rankings are unaffected;
+        the instrumented stages cost a context-variable read each when
+        tracing is off (the ≤5 % overhead bound is measured in
+        ``benchmarks/test_serving_throughput.py``).  Default ``False``.
     """
 
     lsh_config: Optional[LSHConfig] = None
@@ -133,6 +145,7 @@ class ServingConfig:
     build_timeout: Optional[float] = None
     dtype: Optional[str] = None
     mmap_index: bool = False
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if self.result_cache_size < 0:
@@ -183,6 +196,16 @@ class ServiceStats:
     worker_queries: int = 0
     #: Times the worker pool failed and verification fell back in-process.
     worker_fallbacks: int = 0
+    #: Why queries currently verify in-process instead of on the pool
+    #: (``None`` while the pool is usable).  Mirrors
+    #: :attr:`SearchService.worker_fallback_reason`.
+    worker_fallback_reason: Optional[str] = None
+    #: ``"closed"`` when the reason is the deliberate seal set by
+    #: :meth:`SearchService.close`, ``"failure"`` for crash-/timeout-induced
+    #: retirement, ``None`` when no fallback is in effect — so an operator
+    #: (or the ``/metrics`` payload) can tell a drained service from a
+    #: broken one at a glance.
+    worker_fallback_kind: Optional[str] = None
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """A plain-dict snapshot (JSON-friendly, used by the benchmarks)."""
@@ -241,7 +264,10 @@ class SearchService:
         # slightly larger first sync, under-refreshing would serve stale
         # encodings.
         self._mmap_dirty_ids: set = set()
-        self.worker_fallback_reason: Optional[str] = None
+        #: The serialised span tree of the most recent query that ran under a
+        #: service-minted trace (``ServingConfig(tracing=True)``); ``None``
+        #: until one completes.  HTTP-minted traces live on the HTTP tier.
+        self.last_trace: Optional[Dict] = None
         # (chart content hash, k, strategy) -> QueryResult (same content-hash
         # idiom as FCMScorer.prepare_query): equal charts from different
         # objects share entries, and mutating a chart in place changes its
@@ -292,6 +318,15 @@ class SearchService:
         # this only builds the interval tree and LSH.
         stats = self.processor.index_repository(tables)
         self._invalidate()
+        _log.info(
+            "index_built",
+            tables=stats.num_tables,
+            workers=workers,
+            interval_seconds=stats.interval_seconds,
+            lsh_seconds=stats.lsh_seconds,
+            sharded=self.last_shard_report is not None
+            and self.last_shard_report.used_processes,
+        )
         return stats
 
     def add_tables(self, tables: Iterable[Table]) -> IndexBuildStats:
@@ -300,6 +335,7 @@ class SearchService:
         stats = self.processor.add_tables(tables)
         self.stats.tables_added += len(tables)
         self._invalidate()
+        _log.info("tables_added", count=len(tables), total=stats.num_tables)
         return stats
 
     def remove_tables(self, table_ids: Iterable[str]) -> int:
@@ -313,6 +349,7 @@ class SearchService:
             self._pool_removed_ids.update(gone)
             self._mmap_dirty_ids.update(gone)
             self._invalidate()
+            _log.info("tables_removed", count=removed, total=self.num_tables)
         return removed
 
     # ------------------------------------------------------------------ #
@@ -323,6 +360,27 @@ class SearchService:
         """The live worker pool, or ``None`` (not configured / not yet
         started / retired after a failure — see :attr:`worker_fallback_reason`)."""
         return self._query_pool
+
+    @property
+    def worker_fallback_reason(self) -> Optional[str]:
+        """Why queries verify in-process instead of on the pool (sticky).
+
+        ``None`` while the pool is usable.  Stored on :attr:`stats` together
+        with :attr:`ServiceStats.worker_fallback_kind`, which distinguishes
+        the deliberate :meth:`close` seal (``"closed"``) from crash-induced
+        retirement (``"failure"``).
+        """
+        return self.stats.worker_fallback_reason
+
+    @worker_fallback_reason.setter
+    def worker_fallback_reason(self, reason: Optional[str]) -> None:
+        self.stats.worker_fallback_reason = reason
+        if reason is None:
+            self.stats.worker_fallback_kind = None
+        elif reason == CLOSED_FALLBACK_REASON:
+            self.stats.worker_fallback_kind = "closed"
+        else:
+            self.stats.worker_fallback_kind = "failure"
 
     @property
     def mmap_active(self) -> bool:
@@ -361,6 +419,7 @@ class SearchService:
     def _retire_query_pool(self, reason: str) -> None:
         self.worker_fallback_reason = reason
         self.stats.worker_fallbacks += 1
+        _log.info("worker_pool_retired", reason=reason, kind="failure")
         if self._query_pool is not None:
             self._query_pool.close()
             self._query_pool = None
@@ -414,9 +473,12 @@ class SearchService:
             shards = split_shards(
                 ordered_ids, num_shards if num_shards > 1 else pool.num_workers
             )
-            scores = pool.score(
-                chart_input, shards, timeout=self.config.worker_timeout
-            )
+            with span(
+                "scatter_gather", shards=len(shards), workers=pool.num_workers
+            ):
+                scores = pool.score(
+                    chart_input, shards, timeout=self.config.worker_timeout
+                )
         except Exception as exc:
             self._retire_query_pool(f"{type(exc).__name__}: {exc}")
             return None
@@ -443,6 +505,7 @@ class SearchService:
         if self.config.query_workers >= 2 and self.worker_fallback_reason is None:
             # Not counted in stats.worker_fallbacks: nothing failed.
             self.worker_fallback_reason = CLOSED_FALLBACK_REASON
+            _log.info("service_closed", kind="closed")
 
     def __enter__(self) -> "SearchService":
         return self
@@ -475,9 +538,26 @@ class SearchService:
         on the persistent process pool (identical scores; see
         :mod:`repro.serving.workers`); a pool failure silently re-verifies
         in-process and retires the pool.
+
+        With ``ServingConfig(tracing=True)`` a trace root is minted here
+        when no ambient trace is active (the HTTP tier mints its own at the
+        boundary); the finished tree lands on :attr:`last_trace` and, past
+        ``REPRO_SLOW_QUERY_MS``, in the slow-query log.
         """
+        if self.config.tracing and current_span() is None:
+            with start_trace("query", k=int(k), strategy=strategy) as root:
+                result = self._query_impl(chart, k, strategy)
+            self.last_trace = root.to_dict()
+            maybe_log_slow_query(self.last_trace)
+            return result
+        return self._query_impl(chart, k, strategy)
+
+    def _query_impl(self, chart: LineChart, k: int, strategy: str) -> QueryResult:
         key = (chart.fingerprint(), int(k), strategy)
-        hit = self._result_cache.get(key)
+        with span("cache") as sp:
+            hit = self._result_cache.get(key)
+            if sp is not None:
+                sp.attributes["hit"] = hit is not None
         if hit is not None:
             self._result_cache.move_to_end(key)
             self.stats.per_strategy[strategy].cache_hits += 1

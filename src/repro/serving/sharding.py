@@ -37,6 +37,9 @@ from ..data.table import Table
 from ..fcm.config import FCMConfig
 from ..fcm.model import FCMModel
 from ..fcm.scorer import EncodedTable, FCMScorer
+from ..obs import get_logger
+
+_log = get_logger("repro.serving.sharding")
 
 #: Per-process scorer built by :func:`_init_worker`; lives for the pool's
 #: lifetime so repeated tasks on one worker reuse the reconstructed model.
@@ -175,6 +178,19 @@ def encode_tables_sharded(
             # Don't block on stuck workers: abandon outstanding tasks.
             pool.shutdown(wait=False, cancel_futures=True)
         report.fallback_reason = f"{type(exc).__name__}: {exc}"
+        _log.info(
+            "sharded_build_fallback",
+            reason=report.fallback_reason,
+            tables=len(tables),
+            shards=len(shards),
+        )
         encoded = _encode_in_process(model, tables)
     report.seconds = time.perf_counter() - start
+    _log.info(
+        "sharded_build_finished",
+        tables=len(tables),
+        workers=report.num_workers,
+        seconds=report.seconds,
+        used_processes=report.used_processes,
+    )
     return encoded, report

@@ -47,8 +47,11 @@ from ..fcm.config import FCMConfig
 from ..fcm.model import FCMModel
 from ..fcm.preprocessing import ChartInput
 from ..fcm.scorer import EncodedTable
+from ..obs import current_span, current_trace_id, get_logger, span, start_trace
 from .persistence import PathLike, snapshot_encodings
 from .sharding import build_worker_scorer, chunk_evenly
+
+_log = get_logger("repro.serving.workers")
 
 
 class WorkerPoolError(RuntimeError):
@@ -69,7 +72,17 @@ def _worker_main(
     encodings are never pickled over the pipe and every worker shares the
     same page-cache-resident bytes.  The ``ready`` handshake reports the
     loaded table ids so the parent knows exactly what the workers hold.
+
+    **Tracing**: a ``score`` message carries the parent's trace id (or
+    ``None`` when the query is untraced).  Traced shards run under a
+    worker-local trace root so the ``shard_score`` stage (and the
+    ``encode_chart`` span the scorer opens inside it) is captured, and the
+    serialised tree rides back with the scores for the parent to stitch.
+    Model rehydration happens once, long before any query — its cost is
+    recorded at init and attached as a deferred ``rehydrate`` span to the
+    first traced reply, so profiles still show what cold-start cost.
     """
+    rehydrate_start = time.perf_counter()
     try:
         scorer = build_worker_scorer(config, state)
         loaded_ids: List[str] = []
@@ -84,6 +97,8 @@ def _worker_main(
             pass
         conn.close()
         return
+    rehydrate_seconds = time.perf_counter() - rehydrate_start
+    rehydrate_reported = False
     conn.send(("ready", loaded_ids))
     while True:
         try:
@@ -102,8 +117,27 @@ def _worker_main(
                     scorer.evict_table(table_id)
                 reply = ("ok", len(encoded) + len(evicted))
             elif kind == "score":
-                _, chart_input, table_ids = message
-                reply = ("ok", scorer.score_encoded_batch(chart_input, table_ids))
+                _, chart_input, table_ids, trace_id = message
+                if trace_id is None:
+                    scores = scorer.score_encoded_batch(chart_input, table_ids)
+                    reply = ("ok", (scores, None))
+                else:
+                    with start_trace("worker", trace_id=trace_id) as root:
+                        with span("shard_score", tables=len(table_ids)):
+                            scores = scorer.score_encoded_batch(
+                                chart_input, table_ids
+                            )
+                    if not rehydrate_reported:
+                        root.attach(
+                            {
+                                "name": "rehydrate",
+                                "duration_ms": rehydrate_seconds * 1e3,
+                                "attributes": {"deferred": True},
+                                "children": [],
+                            }
+                        )
+                        rehydrate_reported = True
+                    reply = ("ok", (scores, root.to_dict()))
             else:
                 reply = ("error", f"unknown message kind {kind!r}")
         except BaseException as exc:
@@ -180,6 +214,10 @@ class QueryWorkerPool:
         self._processes: List[multiprocessing.Process] = []
         self._connections: list = []
         self.stats = WorkerPoolStats()
+        #: Serialised worker span trees from the most recent traced
+        #: :meth:`score` call (diagnostics; also stitched into the ambient
+        #: trace automatically).
+        self.last_worker_spans: List[Dict] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -257,10 +295,22 @@ class QueryWorkerPool:
             self.close()
             raise
         self.stats = WorkerPoolStats(num_workers=self._num_workers)
+        _log.info(
+            "worker_pool_started",
+            num_workers=self._num_workers,
+            preloaded_tables=len(self._preloaded_ids),
+            mmap_snapshot=str(self._mmap_snapshot) if self._mmap_snapshot else None,
+        )
         return self
 
     def close(self) -> None:
         """Stop every worker (idempotent; never raises)."""
+        if self._processes:
+            _log.info(
+                "worker_pool_closed",
+                num_workers=len(self._processes),
+                queries=self.stats.queries,
+            )
         for conn in self._connections:
             try:
                 conn.send(("stop",))
@@ -339,6 +389,7 @@ class QueryWorkerPool:
             self._recv(conn, deadline)
         self.stats.tables_synced += len(encoded)
         self.stats.tables_evicted += len(evicted)
+        _log.debug("worker_sync", tables=len(encoded), evicted=len(evicted))
 
     def score(
         self,
@@ -352,21 +403,38 @@ class QueryWorkerPool:
         worker holding several shards pipelines them over its FIFO pipe.
         Returns the merged ``{table_id: score}`` map covering every id in
         every shard.
+
+        When an ambient trace is active (see :mod:`repro.obs.tracing`) the
+        trace id rides along with every shard; workers answer with
+        ``(scores, span_tree)`` and the trees are stitched under the current
+        span (and kept in :attr:`last_worker_spans`).  Untraced queries send
+        ``trace_id=None`` and workers skip span bookkeeping entirely.
         """
         self._require_started()
         shards = [list(shard) for shard in shards if shard]
         if not shards:
             return {}
+        trace_id = current_trace_id()
         deadline = self._deadline(timeout)
         assigned: List[int] = []
         for index, (shard, conn) in enumerate(
             zip(shards, itertools.cycle(self._connections))
         ):
-            conn.send(("score", chart_input, shard))
+            conn.send(("score", chart_input, shard, trace_id))
             assigned.append(index % len(self._connections))
         scores: Dict[str, float] = {}
+        worker_trees: List[Dict] = []
         for conn_index in assigned:
             _, payload = self._recv(self._connections[conn_index], deadline)
-            scores.update(payload)
+            shard_scores, worker_tree = payload
+            scores.update(shard_scores)
+            if worker_tree is not None:
+                worker_trees.append(worker_tree)
+        if worker_trees:
+            self.last_worker_spans = worker_trees
+            parent = current_span()
+            if parent is not None:
+                for tree in worker_trees:
+                    parent.attach(tree)
         self.stats.queries += 1
         return scores

@@ -30,6 +30,7 @@ from repro.serving import (
     SearchService,
     ServingConfig,
 )
+from repro.obs import parse_prometheus_text, stage_names
 from repro.serving.http import (
     ProtocolError,
     chart_payload_from_series,
@@ -665,3 +666,230 @@ class TestHTTPServingConfig:
     def test_invalid_knobs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             HTTPServingConfig(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Observability: tracing, debug flags, Prometheus exposition
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def traced_server(tiny_fcm_config, small_records):
+    """A server with end-to-end tracing on (its own service: traces are
+    per-instance state and must not leak into the shared ``server``)."""
+    service = SearchService(
+        FCMModel(tiny_fcm_config),
+        ServingConfig(
+            lsh_config=LSHConfig(num_bits=6, hamming_radius=1), tracing=True
+        ),
+    )
+    service.build([record.table for record in small_records[:8]])
+    server = ChartSearchServer(
+        service, HTTPServingConfig(port=0, tracing=True)
+    ).start()
+    yield server
+    server.close()
+
+
+class TestTracing:
+    #: The acceptance bar: one HTTP query covers at least these stages.
+    CORE_STAGES = {"admission", "render", "cache", "candidates", "verify", "merge"}
+
+    def test_http_query_produces_a_full_span_tree(
+        self, traced_server, query_cases
+    ):
+        payload, _ = query_cases[0]
+        status, _, _ = _post(traced_server, "/query", {"chart": payload, "k": 3})
+        assert status == 200
+        tree = traced_server.last_trace
+        assert tree is not None and tree["name"] == "http_query"
+        assert len(tree["trace_id"]) == 16
+        names = stage_names(tree)
+        assert self.CORE_STAGES <= names, sorted(names)
+        assert len(names) >= 6
+
+    def test_cache_hit_is_visible_in_the_trace(
+        self, traced_server, query_cases
+    ):
+        payload, _ = query_cases[1]
+        body = {"chart": payload, "k": 3}
+        _post(traced_server, "/query", body)
+        _post(traced_server, "/query", body)  # identical → result-cache hit
+        cache_spans = [
+            node
+            for node in _walk(traced_server.last_trace)
+            if node["name"] == "cache"
+        ]
+        assert cache_spans and cache_spans[0]["attributes"]["hit"] is True
+
+    def test_debug_trace_returns_the_tree_in_the_response(
+        self, traced_server, query_cases
+    ):
+        payload, _ = query_cases[2]
+        status, body, _ = _post(
+            traced_server,
+            "/query",
+            {"chart": payload, "k": 3, "debug": {"trace": True}},
+        )
+        assert status == 200
+        tree = body["debug"]["trace"]
+        assert tree["name"] == "http_query"
+        assert self.CORE_STAGES <= stage_names(tree)
+
+    def test_debug_profile_returns_a_cprofile_capture(
+        self, traced_server, query_cases
+    ):
+        payload, _ = query_cases[0]
+        status, body, _ = _post(
+            traced_server,
+            "/query",
+            {"chart": payload, "k": 3, "debug": {"profile": True}},
+        )
+        assert status == 200
+        assert "cumulative" in body["debug"]["profile"]
+
+    def test_response_without_debug_flags_has_no_debug_key(
+        self, traced_server, query_cases
+    ):
+        """Wire compatibility: tracing on the server must not change the
+        response body an ordinary client sees."""
+        payload, _ = query_cases[0]
+        _, plain, _ = _post(traced_server, "/query", {"chart": payload, "k": 3})
+        assert set(plain) == {
+            "k", "strategy", "ranking", "candidates", "total_tables", "seconds",
+        }
+        _, flagged_off, _ = _post(
+            traced_server,
+            "/query",
+            {"chart": payload, "k": 3, "debug": {"trace": False}},
+        )
+        assert set(flagged_off) == set(plain)
+        assert flagged_off["ranking"] == plain["ranking"]
+
+    def test_debug_trace_works_on_an_untraced_server(
+        self, server, query_cases
+    ):
+        """Per-request opt-in: the shared (untraced) server still returns a
+        span tree when asked, covering the service stages."""
+        payload, _ = query_cases[0]
+        status, body, _ = _post(
+            server,
+            "/query",
+            {"chart": payload, "k": 3, "debug": {"trace": True}},
+        )
+        assert status == 200
+        names = stage_names(body["debug"]["trace"])
+        assert {"cache", "candidates", "verify", "merge"} <= names
+
+    @pytest.mark.parametrize(
+        "debug",
+        [{"unknown": True}, {"trace": "yes"}, ["trace"], 1],
+    )
+    def test_malformed_debug_objects_are_rejected(
+        self, server, query_cases, debug
+    ):
+        payload, _ = query_cases[0]
+        status, body, _ = _post(
+            server, "/query", {"chart": payload, "k": 3, "debug": debug}
+        )
+        assert status == 400
+        assert "debug" in body["error"]
+
+
+def _walk(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk(child)
+
+
+class TestPrometheusEndpoint:
+    def test_exposition_passes_the_strict_validator(self, server):
+        prior = _healthz_requests(server)
+        _get(server, "/healthz")  # at least one observed request
+        _settled_metrics(server, min_healthz=prior + 1)
+        status, text, headers = _request_text(server, "/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        parsed = parse_prometheus_text(text)
+        for series in (
+            "http_requests_total",
+            "http_request_latency_ms",
+            "http_admission_rejected_total",
+            "http_draining_rejected_total",
+            "http_uptime_seconds",
+            "service_tables",
+            "service_worker_fallback_active",
+        ):
+            assert series in parsed, f"missing {series}"
+        assert parsed["http_requests_total"]["type"] == "counter"
+        assert parsed["http_request_latency_ms"]["type"] == "summary"
+        healthz = [
+            (labels, value)
+            for name, labels, value in parsed["http_requests_total"]["samples"]
+            if labels.get("endpoint") == "GET /healthz"
+            and labels.get("status") == "200"
+        ]
+        assert healthz and healthz[0][1] >= 1
+
+    def test_json_and_prometheus_agree_on_request_counts(self, server):
+        prior = _healthz_requests(server)
+        _get(server, "/healthz")
+        body = _settled_metrics(server, min_healthz=prior + 1)
+        json_count = body["endpoints"]["GET /healthz"]["status_counts"]["200"]
+        _, text, _ = _request_text(server, "/metrics?format=prometheus")
+        samples = parse_prometheus_text(text)["http_requests_total"]["samples"]
+        prom_count = sum(
+            value
+            for _, labels, value in samples
+            if labels.get("endpoint") == "GET /healthz"
+            and labels.get("status") == "200"
+        )
+        assert prom_count == json_count
+
+    def test_unknown_format_is_a_400(self, server):
+        status, body, _ = _get(server, "/metrics?format=xml")
+        assert status == 400
+        assert "format" in body["error"]
+
+    def test_json_metrics_report_fallback_kind(self, server):
+        _, body, _ = _get(server, "/metrics")
+        service = body["service"]
+        assert "worker_fallback_kind" in service
+        assert service["worker_fallback_kind"] in (None, "failure", "closed")
+
+
+def _healthz_requests(server):
+    _, body, _ = _get(server, "/metrics")
+    return body["endpoints"].get("GET /healthz", {"requests": 0})["requests"]
+
+
+def _settled_metrics(server, min_healthz, timeout=5.0):
+    """Poll JSON ``/metrics`` until ``GET /healthz`` shows >= ``min_healthz``.
+
+    Request metrics are observed *after* the response bytes are flushed
+    (the handler's ``finally`` runs once the client already has its reply),
+    so a scrape racing the handler thread can legally miss the request it
+    just made.  Polling for the expected count makes count-comparison
+    assertions deterministic.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        _, body, _ = _get(server, "/metrics")
+        observed = body["endpoints"].get("GET /healthz", {"requests": 0})["requests"]
+        if observed >= min_healthz:
+            return body
+        assert time.monotonic() < deadline, "healthz request never observed"
+        time.sleep(0.01)
+
+
+def _request_text(server, path):
+    """GET returning the raw (non-JSON) body, for the Prometheus format."""
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30.0)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (
+            response.status,
+            response.read().decode("utf-8"),
+            dict(response.getheaders()),
+        )
+    finally:
+        conn.close()

@@ -21,6 +21,7 @@ from repro.data import Column, Table
 from repro.fcm import FCMModel, FCMScorer
 from repro.index import Interval, IntervalTree, LSHConfig, RandomHyperplaneLSH
 from repro.nn import using_dtype
+from repro.obs import stage_names
 from repro.serving import (
     CLOSED_FALLBACK_REASON,
     QueryWorkerPool,
@@ -671,6 +672,67 @@ class TestQueryWorkerPool:
         finally:
             pooled.close()
 
+    def test_fallback_kind_distinguishes_crash_from_close(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """`stats.worker_fallback_kind`: "failure" for crash-induced
+        retirement, "closed" for the deliberate close() seal, None while
+        the pool is usable (and after reset_query_pool)."""
+        pooled = _pooled_service(serving_model)
+        try:
+            pooled.build(serving_tables[:4])
+            assert pooled.stats.worker_fallback_kind is None
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            pooled.query_pool.close()  # sabotage → crash-style fallback
+            pooled.query(query_charts[1], k=5)
+            assert pooled.stats.worker_fallback_kind == "failure"
+            assert pooled.worker_fallback_reason != CLOSED_FALLBACK_REASON
+
+            pooled.reset_query_pool()
+            assert pooled.stats.worker_fallback_kind is None
+        finally:
+            pooled.close()
+        assert pooled.worker_fallback_reason == CLOSED_FALLBACK_REASON
+        assert pooled.stats.worker_fallback_kind == "closed"
+
+    def test_traced_pooled_query_stitches_worker_spans(
+        self, serving_model, serving_tables, query_charts
+    ):
+        """End-to-end stitching: a traced query served through the pool
+        carries worker-side span trees under its own trace id."""
+        pooled = _pooled_service(serving_model, tracing=True)
+        try:
+            pooled.build(serving_tables[:5])
+            pooled.query(query_charts[0], k=5)
+            _skip_unless_pool_ran(pooled)
+
+            pooled.query(query_charts[1], k=5)  # pool already warm
+            tree = pooled.last_trace
+            assert tree is not None
+            names = stage_names(tree)
+            assert {"query", "cache", "candidates", "verify",
+                    "scatter_gather", "merge"} <= names
+            if pooled.stats.worker_queries and "worker" in names:
+                workers = [
+                    node
+                    for node in _walk_tree(tree)
+                    if node["name"] == "worker"
+                ]
+                assert workers
+                for worker in workers:
+                    assert worker["trace_id"] == tree["trace_id"]
+                    assert "shard_score" in stage_names(worker)
+        finally:
+            pooled.close()
+
+
+def _walk_tree(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk_tree(child)
+
 
 # --------------------------------------------------------------------------- #
 # Append-only snapshot segments + compaction
@@ -1078,8 +1140,8 @@ class _ScriptedConn:
     def send(self, message):
         self.sent.append(message)
         if message[0] == "score":
-            _, _, shard = message
-            self._replies.append(("scores", {tid: 0.0 for tid in shard}))
+            _, _, shard, _trace_id = message
+            self._replies.append(("ok", ({tid: 0.0 for tid in shard}, None)))
 
     def poll(self, timeout=None):
         return bool(self._replies)
@@ -1141,7 +1203,7 @@ class TestFailurePathHardening:
             scores = pool.score(None, [[], ["a", "b"], []], timeout=1.0)
             assert scores == {"a": 0.0, "b": 0.0}
             messages = [m for conn in conns for m in conn.sent]
-            assert messages == [("score", None, ["a", "b"])]
+            assert messages == [("score", None, ["a", "b"], None)]
 
             # All-empty scatter: answered locally, nothing sent at all.
             assert pool.score(None, [[], []], timeout=1.0) == {}
