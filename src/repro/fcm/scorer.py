@@ -48,9 +48,20 @@ from ..charts.rasterizer import LineChart
 from ..data.repository import DataRepository
 from ..data.table import Table
 from ..nn import Tensor
-from ..obs import span
+from ..obs import get_registry, span
 from ..vision.extractor import VisualElementExtractor
 from .config import FCMConfig
+from .fastpath import (
+    CoarseCache,
+    FusedMatchKernel,
+    QuantizedPack,
+    QuantizedTable,
+    build_coarse_cache,
+    build_quantized_pack,
+    coarse_scores,
+    quantize_table,
+    quantized_scores,
+)
 from .model import FCMModel
 from .preprocessing import (
     ChartInput,
@@ -110,6 +121,10 @@ class EncodedTable:
     column_names: List[str]
     column_ranges: List[Tuple[float, float]]
     column_embeddings: np.ndarray  # (NC, K), mean over segments
+    #: int8 symmetric-quantized copy of ``representations`` for the cheap
+    #: pre-filter pass; ``None`` entries (e.g. tables restored from a snapshot
+    #: without the q8 sidecar) are quantized lazily at pack-build time.
+    quantized: Optional[QuantizedTable] = None
 
 
 class FCMScorer:
@@ -117,6 +132,11 @@ class FCMScorer:
 
     #: Number of recently prepared query charts memoised by :meth:`prepare_query`.
     QUERY_CACHE_SIZE = 16
+
+    #: Number of padded candidate batches memoised per scorer (keyed by the
+    #: chunk's table-id tuple + the query's column-filter y-range); a stable
+    #: repository re-pads nothing between queries.
+    PAD_CACHE_SIZE = 8
 
     def __init__(
         self,
@@ -126,7 +146,17 @@ class FCMScorer:
         self.model = model
         self.config: FCMConfig = model.config
         self.extractor = extractor or VisualElementExtractor()
+        #: Score chunks through the fused inference kernels when the matcher
+        #: supports them (see :mod:`repro.fcm.fastpath`); per-call override
+        #: via ``score_encoded_batch(..., fused=...)``.
+        self.fused = True
         self._encoded: Dict[str, EncodedTable] = {}
+        self._kernel: Optional[FusedMatchKernel] = None
+        self._pad_cache: "OrderedDict[tuple, Tuple[np.ndarray, np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._quant_pack: Optional[QuantizedPack] = None
+        self._coarse_cache: Optional[CoarseCache] = None
         # Maps chart *content hash* -> ChartInput (see LineChart.fingerprint):
         # equal charts share an entry even when they are distinct objects,
         # and a chart mutated in place hashes to a new key, so entries can
@@ -146,8 +176,10 @@ class FCMScorer:
             column_names=table_input.column_names,
             column_ranges=[table.column(n).value_range() for n in table_input.column_names],
             column_embeddings=representations.mean(axis=1),
+            quantized=quantize_table(representations),
         )
         self._encoded[table.table_id] = encoded
+        self._invalidate_candidates()
         return encoded
 
     def index_table(self, table: Table) -> EncodedTable:
@@ -224,10 +256,21 @@ class FCMScorer:
         indexing), so mapped entries behave exactly like heap copies.
         """
         self._encoded[encoded.table_id] = encoded
+        self._invalidate_candidates()
 
     def evict_table(self, table_id: str) -> bool:
         """Drop the cached encoding of ``table_id`` (incremental removal)."""
-        return self._encoded.pop(table_id, None) is not None
+        removed = self._encoded.pop(table_id, None) is not None
+        if removed:
+            self._invalidate_candidates()
+        return removed
+
+    def _invalidate_candidates(self) -> None:
+        """The table set changed: padded batches and the quantized pack built
+        from the previous set can no longer be reused."""
+        self._pad_cache.clear()
+        self._quant_pack = None
+        self._coarse_cache = None
 
     @property
     def indexed_table_ids(self) -> List[str]:
@@ -344,6 +387,7 @@ class FCMScorer:
         chart: LineChart,
         table_ids: Optional[Sequence[str]] = None,
         batch_size: Optional[int] = 256,
+        fused: Optional[bool] = None,
     ) -> Dict[str, float]:
         """Relevance against the indexed tables via one stacked matcher call.
 
@@ -369,13 +413,52 @@ class FCMScorer:
         """
         chart_input = self.prepare_query(chart)
         ids = list(table_ids) if table_ids is not None else self.indexed_table_ids
-        return self.score_encoded_batch(chart_input, ids, batch_size=batch_size)
+        return self.score_encoded_batch(
+            chart_input, ids, batch_size=batch_size, fused=fused
+        )
+
+    def _fused_kernel(self) -> Optional[FusedMatchKernel]:
+        """The per-scorer fused kernel, or ``None`` for unsupported matchers."""
+        if self._kernel is None:
+            self._kernel = FusedMatchKernel(self.model.matcher)
+        return self._kernel if self._kernel.supported else None
+
+    def _padded_batch(
+        self, chunk_ids: Sequence[str], y_range: Tuple[float, float]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Column-filter + zero-pad one candidate chunk, memoised.
+
+        Keyed by the chunk's table ids and the query's y-range (the column
+        filter depends on both); any table add/evict clears the whole cache.
+        Hits and misses are counted in the metrics registry under
+        ``repro_pad_cache_total``.
+        """
+        key = (tuple(chunk_ids), (float(y_range[0]), float(y_range[1])))
+        cached = self._pad_cache.get(key)
+        counter = get_registry().counter(
+            "repro_pad_cache_total", "padded candidate-batch cache lookups"
+        )
+        if cached is not None:
+            self._pad_cache.move_to_end(key)
+            counter.inc(result="hit")
+            return cached
+        counter.inc(result="miss")
+        selected = [
+            self._select_columns(self.encoded_table(tid), y_range)
+            for tid in chunk_ids
+        ]
+        padded = pad_candidate_batch(selected)
+        self._pad_cache[key] = padded
+        while len(self._pad_cache) > self.PAD_CACHE_SIZE:
+            self._pad_cache.popitem(last=False)
+        return padded
 
     def score_encoded_batch(
         self,
         chart_input: ChartInput,
         table_ids: Sequence[str],
         batch_size: Optional[int] = 256,
+        fused: Optional[bool] = None,
     ) -> Dict[str, float]:
         """Score a *prepared* query against a shard of cached table encodings.
 
@@ -392,22 +475,44 @@ class FCMScorer:
         (:meth:`index_repository` / :meth:`add_encoded`); unknown ids raise
         ``KeyError``.  ``batch_size`` bounds candidates per stacked matcher
         forward exactly as in :meth:`score_chart_batch`.
+
+        ``fused`` selects the graph-free fused kernels
+        (:class:`~repro.fcm.fastpath.FusedMatchKernel`); ``None`` follows the
+        scorer-wide :attr:`fused` flag.  Fused and graphed scores are
+        identical (bitwise in float64; rounding noise in float32) — the flag
+        exists as an operational fallback, not a quality trade-off.
         """
         ids = list(table_ids)
         if not ids:
             return {}
+        use_fused = self.fused if fused is None else bool(fused)
+        kernel = self._fused_kernel() if use_fused else None
         scores: Dict[str, float] = {}
         chunk = len(ids) if not batch_size else max(1, int(batch_size))
         with self.model.inference():
             with span("encode_chart"):
                 chart_repr = self.model.encode_chart(chart_input)
+            if kernel is not None:
+                chart_data = np.ascontiguousarray(chart_repr.numpy())
+                with span("verify_fused", tables=len(ids)):
+                    for start in range(0, len(ids), chunk):
+                        chunk_ids = ids[start : start + chunk]
+                        batch, segment_mask, column_mask = self._padded_batch(
+                            chunk_ids, chart_input.y_range
+                        )
+                        batch_scores = np.atleast_1d(
+                            kernel.score_batch(
+                                chart_data, batch, segment_mask, column_mask
+                            )
+                        )
+                        for table_id, score in zip(chunk_ids, batch_scores):
+                            scores[table_id] = float(score)
+                return scores
             for start in range(0, len(ids), chunk):
                 chunk_ids = ids[start : start + chunk]
-                selected = [
-                    self._select_columns(self.encoded_table(tid), chart_input.y_range)
-                    for tid in chunk_ids
-                ]
-                batch, segment_mask, column_mask = pad_candidate_batch(selected)
+                batch, segment_mask, column_mask = self._padded_batch(
+                    chunk_ids, chart_input.y_range
+                )
                 batch_scores = self.model.match_batch(
                     chart_repr,
                     Tensor(batch, dtype=self.config.numeric_dtype),
@@ -418,6 +523,92 @@ class FCMScorer:
                 for table_id, score in zip(chunk_ids, batch_scores):
                     scores[table_id] = float(score)
         return scores
+
+    # ------------------------------------------------------------------ #
+    # Quantized pre-filter
+    # ------------------------------------------------------------------ #
+    def quantized_pack(self) -> QuantizedPack:
+        """The packed int8 copy of every cached encoding, built lazily.
+
+        Tables whose :attr:`EncodedTable.quantized` is ``None`` (snapshots
+        predating the q8 sidecar, worker sync payloads from older peers) are
+        quantized here from their float representations; the pack is rebuilt
+        whenever the table set changes.
+        """
+        if self._quant_pack is None:
+            items = []
+            for table_id, encoded in self._encoded.items():
+                quantized = encoded.quantized
+                if quantized is None:
+                    quantized = quantize_table(encoded.representations)
+                    encoded.quantized = quantized
+                items.append((table_id, quantized))
+            self._quant_pack = build_quantized_pack(items)
+        return self._quant_pack
+
+    def prefilter_ids(
+        self,
+        chart_input: ChartInput,
+        table_ids: Sequence[str],
+        keep: int,
+    ) -> List[str]:
+        """Rank ``table_ids`` by the coarse int8 score and keep the best.
+
+        The coarse score runs the real matcher (fused when supported, the
+        graphed batched path otherwise) on the segment-pooled quantized pack
+        — see :func:`repro.fcm.fastpath.quantized_scores`.  Returns up to
+        ``keep`` table ids (lexicographically sorted, like the candidate
+        sets the verify stage consumes); ties break on table id so the cut
+        is deterministic.  When ``keep`` covers the whole candidate set this
+        is the identity.
+        """
+        ids = list(table_ids)
+        if keep >= len(ids):
+            return ids
+        with self.model.inference():
+            chart_repr = self.model.encode_chart(chart_input)
+        chart_data = np.ascontiguousarray(chart_repr.numpy())
+        kernel = self._fused_kernel()
+        if kernel is not None:
+            # The coarse pass only ranks for the overscan cut, so it runs at
+            # PREFILTER_DTYPE (float32) with native-dtype accumulation even
+            # under a float64 session — the exact re-score of the survivors
+            # restores full precision.  The table side (dequantize + key/
+            # value projections) is query-independent and served from a
+            # per-pack cache, so each query pays only the chart-side
+            # projections and the attention/head chain.
+            pack = self.quantized_pack()
+            if self._coarse_cache is None:
+                self._coarse_cache = build_coarse_cache(kernel, pack)
+            scores = coarse_scores(
+                kernel, pack, self._coarse_cache, chart_data, ids
+            )
+        else:
+
+            def score_fn(chart, batch, segment_mask, column_mask):
+                with self.model.inference():
+                    return self.model.match_batch(
+                        chart_repr,
+                        Tensor(batch, dtype=self.config.numeric_dtype),
+                        segment_mask,
+                        column_mask,
+                    ).numpy()
+
+            scores = quantized_scores(
+                self.quantized_pack(), chart_data, ids, score_fn
+            )
+        # Descending score, ties broken on table id, so the cut is
+        # deterministic.  Partitioning first restricts the id-aware sort to
+        # the survivors plus their boundary ties instead of every candidate.
+        keep = max(int(keep), 0)
+        if keep == 0:
+            return []
+        ids_arr = np.asarray(ids)
+        neg = -scores
+        threshold = np.partition(neg, keep - 1)[keep - 1]
+        surviving = np.flatnonzero(neg <= threshold)
+        order = np.lexsort((ids_arr[surviving], neg[surviving]))
+        return sorted(ids_arr[surviving[order[:keep]]].tolist())
 
     def rank(
         self,

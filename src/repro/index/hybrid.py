@@ -40,6 +40,10 @@ class QueryResult:
     candidates: int
     total_tables: int
     seconds: float
+    #: Candidates surviving the quantized pre-filter (``None`` when the
+    #: pre-filter was off or did not engage because the candidate set was
+    #: already at or below the keep budget).
+    prefiltered: Optional[int] = None
 
     @property
     def pruned_fraction(self) -> float:
@@ -261,6 +265,8 @@ class HybridQueryProcessor:
         strategy: str = "hybrid",
         num_verify_shards: int = 1,
         verifier: Optional[Callable[..., Optional[Dict[str, float]]]] = None,
+        prefilter_keep: Optional[int] = None,
+        fused: Optional[bool] = None,
     ) -> QueryResult:
         """Run one top-``k`` query under the chosen indexing strategy.
 
@@ -277,6 +283,14 @@ class HybridQueryProcessor:
         :class:`~repro.serving.workers.QueryWorkerPool` through (returning
         ``None`` on any pool failure, so a query is never lost to a dead
         worker).
+
+        ``prefilter_keep`` (when set) runs the int8 quantized pre-filter
+        before verification whenever more candidates than that survive the
+        index strategies: only the best ``prefilter_keep`` by the cheap proxy
+        score go on to exact scoring (in-process *or* worker-pool — the
+        reduction happens before the shard split).  ``fused`` is forwarded to
+        the in-process scoring path (see
+        :meth:`FCMScorer.score_encoded_batch`).
         """
         start = time.perf_counter()
         with span("candidates", strategy=strategy) as sp:
@@ -293,6 +307,15 @@ class HybridQueryProcessor:
         # FCM verification runs the batched no-grad path: one stacked matcher
         # forward per shard scores every surviving candidate.
         ordered = sorted(candidate_ids)
+        prefiltered: Optional[int] = None
+        if prefilter_keep is not None and 0 < prefilter_keep < len(ordered):
+            with span(
+                "prefilter", candidates=len(ordered), keep=int(prefilter_keep)
+            ):
+                ordered = self.scorer.prefilter_ids(
+                    self.scorer.prepare_query(chart), ordered, int(prefilter_keep)
+                )
+            prefiltered = len(ordered)
         num_shards = max(1, min(int(num_verify_shards), len(ordered) or 1))
         scores: Optional[Dict[str, float]] = None
         with span("verify", shards=num_shards, candidates=len(ordered)) as sp:
@@ -304,7 +327,9 @@ class HybridQueryProcessor:
                     sp.attributes["via_worker_pool"] = scores is not None
             if scores is None:
                 if num_shards == 1:
-                    scores = self.scorer.score_chart_batch(chart, table_ids=ordered)
+                    scores = self.scorer.score_chart_batch(
+                        chart, table_ids=ordered, fused=fused
+                    )
                 else:
                     shard_size = -(-len(ordered) // num_shards)  # ceil division
                     scores = {}
@@ -315,6 +340,7 @@ class HybridQueryProcessor:
                                 table_ids=ordered[
                                     shard_start : shard_start + shard_size
                                 ],
+                                fused=fused,
                             )
                         )
         with span("merge", scored=len(scores)):
@@ -327,4 +353,5 @@ class HybridQueryProcessor:
             candidates=len(candidate_ids),
             total_tables=len(self._tables),
             seconds=elapsed,
+            prefiltered=prefiltered,
         )

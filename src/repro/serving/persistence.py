@@ -87,6 +87,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..fcm.fastpath import QuantizedTable, quantize_table
 from ..fcm.model import FCMModel
 from ..fcm.scorer import EncodedTable, FCMScorer
 from ..index.hybrid import HybridQueryProcessor
@@ -106,8 +107,12 @@ _SEGMENT_SUFFIX = ".seg-{number:04d}.npz"
 _SEGMENT_RE = re.compile(r"\.seg-(\d+)\.npz$")
 
 #: v2 sidecar name pattern: ``<base stem>.g<generation>.<kind>.npy``.
-_SIDECAR_KINDS = ("reps", "colemb", "codes")
-_SIDECAR_RE = re.compile(r"\.g(\d+)\.(reps|colemb|codes)\.npy$")
+#: ``q8``/``qscale`` hold the int8 symmetric-quantized copy of the cached
+#: encodings (codes flat next to ``reps`` — same element count, so the
+#: ``rep_offsets`` geometry indexes both — and one float64 scale per table);
+#: they feed the serving layer's quantized pre-filter without a rebuild.
+_SIDECAR_KINDS = ("reps", "colemb", "codes", "q8", "qscale")
+_SIDECAR_RE = re.compile(r"\.g(\d+)\.(reps|colemb|codes|q8|qscale)\.npy$")
 
 
 class SnapshotError(ValueError):
@@ -365,9 +370,14 @@ def _open_sidecar(base: Path, meta: dict, kind: str, mmap: bool) -> np.ndarray:
             f"base metadata: expected {expected} flat elements, found shape "
             f"{tuple(flat.shape)}"
         )
-    expected_dtype = (
-        np.dtype(np.uint64) if kind == "codes" else np.dtype(meta.get("dtype", "float64"))
-    )
+    if kind == "codes":
+        expected_dtype = np.dtype(np.uint64)
+    elif kind == "q8":
+        expected_dtype = np.dtype(np.int8)
+    elif kind == "qscale":
+        expected_dtype = np.dtype(np.float64)
+    else:
+        expected_dtype = np.dtype(meta.get("dtype", "float64"))
     if flat.dtype != expected_dtype:
         raise SnapshotError(
             f"snapshot sidecar {path.name} holds dtype {flat.dtype}, the base "
@@ -407,6 +417,7 @@ class _TableState(NamedTuple):
     fingerprint: Optional[str]
     representations: np.ndarray
     column_embeddings: Optional[np.ndarray]  # None: recompute as mean on use
+    quantized: Optional[QuantizedTable] = None  # None: requantize lazily on use
 
 
 def _state_column_embeddings(state: _TableState) -> np.ndarray:
@@ -449,6 +460,7 @@ def _live_state(processor: HybridQueryProcessor, table_id: str) -> _TableState:
         fingerprint=_fingerprint(encoded.representations),
         representations=encoded.representations,
         column_embeddings=encoded.column_embeddings,
+        quantized=encoded.quantized,
     )
 
 
@@ -599,10 +611,33 @@ def _v2_table_states(
     reps_flat = _open_sidecar(base, meta, "reps", mmap).view(np.ndarray)
     colemb_flat = _open_sidecar(base, meta, "colemb", mmap).view(np.ndarray)
     codes_flat = None if lean else _open_sidecar(base, meta, "codes", mmap)
+    # Pre-q8 v2 snapshots record no quantized sidecars; their tables load
+    # with quantized=None and the scorer requantizes lazily on first use.
+    has_q8 = "q8" in (meta.get("sidecars") or {})
+    q8_flat = (
+        _open_sidecar(base, meta, "q8", mmap).view(np.ndarray) if has_q8 else None
+    )
+    qscale_flat = (
+        _open_sidecar(base, meta, "qscale", mmap).view(np.ndarray)
+        if has_q8
+        else None
+    )
+    if q8_flat is not None and q8_flat.shape[0] != reps_flat.shape[0]:
+        raise SnapshotError(
+            f"{base.name} is corrupt: the q8 sidecar holds "
+            f"{q8_flat.shape[0]} elements but the reps sidecar holds "
+            f"{reps_flat.shape[0]} — the quantized copy must mirror the "
+            f"representation geometry"
+        )
     reps_total = reps_flat.shape[0]
     colemb_total = colemb_flat.shape[0]
     table_ids = arrays["table_ids"].tolist()
     num_tables = len(table_ids)
+    if qscale_flat is not None and qscale_flat.shape[0] != num_tables:
+        raise SnapshotError(
+            f"{base.name} is corrupt: the qscale sidecar holds "
+            f"{qscale_flat.shape[0]} scales for {num_tables} tables"
+        )
     fingerprints = (
         [""] * num_tables if lean else arrays["fingerprints"].tolist()
     )
@@ -677,6 +712,14 @@ def _v2_table_states(
                     f"the end of the codes sidecar"
                 )
             codes = codes_flat[codes_offset : codes_offset + codes_count].tolist()
+        quantized = None
+        if q8_flat is not None:
+            # The q8 sidecar mirrors the reps geometry exactly, so the same
+            # offset/size index both; codes keep the (NC, N2, K) shape.
+            quantized = QuantizedTable(
+                codes=q8_flat[offset : offset + size].reshape(shape),
+                scale=float(qscale_flat[index]),
+            )
         columns_start = column_bounds[index]
         columns_end = column_bounds[index + 1]
         states[table_id] = _TableState(
@@ -687,6 +730,7 @@ def _v2_table_states(
             fingerprint=fingerprints[index] or None,
             representations=representations,
             column_embeddings=column_embeddings,
+            quantized=quantized,
         )
     return states
 
@@ -822,6 +866,8 @@ def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
     ranges_flat: List[Tuple[float, float]] = []
     rep_parts: List[np.ndarray] = []
     colemb_parts: List[np.ndarray] = []
+    q8_parts: List[np.ndarray] = []
+    qscales: List[float] = []
     all_codes: List[int] = []
     rep_offset = colemb_offset = 0
     for state in states:
@@ -829,6 +875,10 @@ def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
         column_embeddings = np.ascontiguousarray(
             _state_column_embeddings(state), dtype=dtype
         )
+        # The int8 copy rides along so a restart (or a mapped worker) never
+        # has to requantize: reuse the live scorer's quantization when the
+        # state carries one, rebuild it when compacting a pre-q8 lineage.
+        quantized = state.quantized or quantize_table(representations)
         table_ids.append(state.table_id)
         fingerprints.append(state.fingerprint or "")
         rep_offsets.append(rep_offset)
@@ -845,6 +895,8 @@ def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
         rep_offset += representations.size
         colemb_parts.append(column_embeddings.reshape(-1))
         colemb_offset += column_embeddings.size
+        q8_parts.append(np.ascontiguousarray(quantized.codes, dtype=np.int8).reshape(-1))
+        qscales.append(float(quantized.scale))
         all_codes.extend(int(code) for code in state.codes)
     intervals = header["intervals"]
     arrays = {
@@ -878,8 +930,18 @@ def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
         np.concatenate(colemb_parts) if colemb_parts else np.empty(0, dtype=dtype)
     )
     codes_flat = np.array(all_codes, dtype=np.uint64)
+    q8_flat = (
+        np.concatenate(q8_parts) if q8_parts else np.empty(0, dtype=np.int8)
+    )
+    qscale_flat = np.asarray(qscales, dtype=np.float64)
     generation = _next_generation(base)
-    flats = {"reps": reps_flat, "colemb": colemb_flat, "codes": codes_flat}
+    flats = {
+        "reps": reps_flat,
+        "colemb": colemb_flat,
+        "codes": codes_flat,
+        "q8": q8_flat,
+        "qscale": qscale_flat,
+    }
     sidecars = {
         kind: {
             "file": _sidecar_path(base, generation, kind).name,
@@ -1137,6 +1199,7 @@ def _states_to_encoded(states: "OrderedDict[str, _TableState]") -> List[EncodedT
                 else [(low, high) for low, high in state.column_ranges]
             ),
             column_embeddings=_state_column_embeddings(state),
+            quantized=state.quantized,
         )
         for state in states.values()
     ]

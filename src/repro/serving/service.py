@@ -134,6 +134,25 @@ class ServingConfig:
         the instrumented stages cost a context-variable read each when
         tracing is off (the ≤5 % overhead bound is measured in
         ``benchmarks/test_serving_throughput.py``).  Default ``False``.
+    fused:
+        When ``True`` (default), candidate verification uses the fused
+        inference kernels (:mod:`repro.fcm.fastpath`) — preallocated
+        NumPy contractions that bypass Tensor-graph allocation.  Scores
+        are bitwise identical to the graphed batched path; matcher
+        architectures the kernel does not support fall back per call.
+        ``False`` forces the graphed path everywhere (debugging aid).
+    quantized_prefilter:
+        When ``True``, queries first rank all LSH/interval candidates with
+        the int8 symmetric-quantized encodings and keep only
+        ``k * prefilter_overscan`` for exact float verification — trading
+        a bounded recall risk for an order of magnitude less exact
+        scoring on large candidate sets.  Default ``False`` (exact).
+    prefilter_overscan:
+        Overscan multiplier for the quantized pre-filter: exact scoring
+        sees ``k * prefilter_overscan`` survivors.  Larger values push
+        top-``k`` recall toward 1.0 at higher verification cost;
+        ``8`` (default) holds recall ≥ 0.99 on the trained benchmark
+        fixture.  Only meaningful with ``quantized_prefilter=True``.
     """
 
     lsh_config: Optional[LSHConfig] = None
@@ -146,6 +165,9 @@ class ServingConfig:
     dtype: Optional[str] = None
     mmap_index: bool = False
     tracing: bool = False
+    fused: bool = True
+    quantized_prefilter: bool = False
+    prefilter_overscan: int = 8
 
     def __post_init__(self) -> None:
         if self.result_cache_size < 0:
@@ -158,6 +180,8 @@ class ServingConfig:
             raise ValueError("worker_timeout must be positive (or None)")
         if self.build_timeout is not None and self.build_timeout <= 0:
             raise ValueError("build_timeout must be positive (or None)")
+        if self.prefilter_overscan < 1:
+            raise ValueError("prefilter_overscan must be >= 1")
         if self.dtype is not None:
             from ..nn import resolve_dtype
 
@@ -239,6 +263,7 @@ class SearchService:
                 f"precision policy (e.g. REPRO_DTYPE={self.config.dtype})"
             )
         self.scorer = FCMScorer(model, extractor=extractor)
+        self.scorer.fused = self.config.fused
         self.processor = HybridQueryProcessor(
             self.scorer, lsh_config=self.config.lsh_config
         )
@@ -458,12 +483,14 @@ class SearchService:
         self._pool_table_ids = current
         self._pool_removed_ids.clear()
 
-    def _verify_with_workers(self, chart_input, ordered_ids, num_shards):
+    def _verify_with_workers(self, chart_input, ordered_ids, num_shards, fused=None):
         """Verification hook handed to :meth:`HybridQueryProcessor.query`.
 
         Returns the worker-pool scores, or ``None`` after retiring the pool
         on any failure (the processor then verifies in-process — the query
-        always succeeds).
+        always succeeds).  ``fused`` overrides the workers' fused-kernel
+        default for this query (each worker scorer starts with
+        ``ServingConfig.fused``).
         """
         pool = self._ensure_query_pool()
         if pool is None:
@@ -477,7 +504,10 @@ class SearchService:
                 "scatter_gather", shards=len(shards), workers=pool.num_workers
             ):
                 scores = pool.score(
-                    chart_input, shards, timeout=self.config.worker_timeout
+                    chart_input,
+                    shards,
+                    timeout=self.config.worker_timeout,
+                    fused=self.config.fused if fused is None else fused,
                 )
         except Exception as exc:
             self._retire_query_pool(f"{type(exc).__name__}: {exc}")
@@ -526,6 +556,7 @@ class SearchService:
         chart: LineChart,
         k: int,
         strategy: str = "hybrid",
+        fused: Optional[bool] = None,
     ) -> QueryResult:
         """Top-``k`` search with result caching and per-strategy statistics.
 
@@ -543,16 +574,32 @@ class SearchService:
         when no ambient trace is active (the HTTP tier mints its own at the
         boundary); the finished tree lands on :attr:`last_trace` and, past
         ``REPRO_SLOW_QUERY_MS``, in the slow-query log.
+
+        ``fused`` overrides ``ServingConfig.fused`` for this call only
+        (``None`` follows the config).  Fused scores are bitwise identical
+        to the graphed path, so the override never changes the ranking and
+        the result cache is shared between both paths.
+
+        With ``ServingConfig(quantized_prefilter=True)`` the candidate set
+        is first ranked by the int8 quantized encodings and only the top
+        ``k * prefilter_overscan`` survive to exact verification
+        (:attr:`QueryResult.prefiltered` reports the survivor count).
         """
         if self.config.tracing and current_span() is None:
             with start_trace("query", k=int(k), strategy=strategy) as root:
-                result = self._query_impl(chart, k, strategy)
+                result = self._query_impl(chart, k, strategy, fused)
             self.last_trace = root.to_dict()
             maybe_log_slow_query(self.last_trace)
             return result
-        return self._query_impl(chart, k, strategy)
+        return self._query_impl(chart, k, strategy, fused)
 
-    def _query_impl(self, chart: LineChart, k: int, strategy: str) -> QueryResult:
+    def _query_impl(
+        self,
+        chart: LineChart,
+        k: int,
+        strategy: str,
+        fused: Optional[bool] = None,
+    ) -> QueryResult:
         key = (chart.fingerprint(), int(k), strategy)
         with span("cache") as sp:
             hit = self._result_cache.get(key)
@@ -563,9 +610,17 @@ class SearchService:
             self.stats.per_strategy[strategy].cache_hits += 1
             return hit
 
-        verifier = (
-            self._verify_with_workers
-            if self.config.query_workers >= 2 and self.worker_fallback_reason is None
+        verifier = None
+        if self.config.query_workers >= 2 and self.worker_fallback_reason is None:
+
+            def verifier(chart_input, ordered_ids, num_shards):
+                return self._verify_with_workers(
+                    chart_input, ordered_ids, num_shards, fused=fused
+                )
+
+        prefilter_keep = (
+            int(k) * self.config.prefilter_overscan
+            if self.config.quantized_prefilter
             else None
         )
         result = self.processor.query(
@@ -574,6 +629,8 @@ class SearchService:
             strategy=strategy,
             num_verify_shards=self.config.num_query_shards,
             verifier=verifier,
+            prefilter_keep=prefilter_keep,
+            fused=fused,
         )
 
         stats = self.stats.per_strategy[strategy]

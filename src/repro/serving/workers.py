@@ -117,15 +117,21 @@ def _worker_main(
                     scorer.evict_table(table_id)
                 reply = ("ok", len(encoded) + len(evicted))
             elif kind == "score":
-                _, chart_input, table_ids, trace_id = message
+                # Length-tolerant unpack: older parents send a 4-tuple, the
+                # current parent appends an options dict (``fused`` override).
+                _, chart_input, table_ids, trace_id, *rest = message
+                options = rest[0] if rest else {}
+                fused = options.get("fused")
                 if trace_id is None:
-                    scores = scorer.score_encoded_batch(chart_input, table_ids)
+                    scores = scorer.score_encoded_batch(
+                        chart_input, table_ids, fused=fused
+                    )
                     reply = ("ok", (scores, None))
                 else:
                     with start_trace("worker", trace_id=trace_id) as root:
                         with span("shard_score", tables=len(table_ids)):
                             scores = scorer.score_encoded_batch(
-                                chart_input, table_ids
+                                chart_input, table_ids, fused=fused
                             )
                     if not rehydrate_reported:
                         root.attach(
@@ -396,13 +402,16 @@ class QueryWorkerPool:
         chart_input: ChartInput,
         shards: Sequence[Sequence[str]],
         timeout: Optional[float] = None,
+        fused: Optional[bool] = None,
     ) -> Dict[str, float]:
         """Scatter candidate shards over the workers and gather the scores.
 
         Shards are assigned round-robin (shard *i* to worker ``i % W``); a
         worker holding several shards pipelines them over its FIFO pipe.
         Returns the merged ``{table_id: score}`` map covering every id in
-        every shard.
+        every shard.  ``fused`` rides along in the per-shard options dict and
+        overrides each worker scorer's fused-kernel default for this query
+        (``None`` keeps the worker default; scores are identical either way).
 
         When an ambient trace is active (see :mod:`repro.obs.tracing`) the
         trace id rides along with every shard; workers answer with
@@ -415,12 +424,13 @@ class QueryWorkerPool:
         if not shards:
             return {}
         trace_id = current_trace_id()
+        options = {"fused": fused}
         deadline = self._deadline(timeout)
         assigned: List[int] = []
         for index, (shard, conn) in enumerate(
             zip(shards, itertools.cycle(self._connections))
         ):
-            conn.send(("score", chart_input, shard, trace_id))
+            conn.send(("score", chart_input, shard, trace_id, options))
             assigned.append(index % len(self._connections))
         scores: Dict[str, float] = {}
         worker_trees: List[Dict] = []

@@ -266,7 +266,7 @@ class TestRoundTripProperties:
         service.remove_tables([service.table_ids[0]])
         save_processor(service.processor, path, layout="v2")
         second = {p.name for _, p in persistence._sidecar_files(path)}
-        assert len(first) == len(second) == 3  # reps / colemb / codes
+        assert len(first) == len(second) == 5  # reps/colemb/codes/q8/qscale
         assert first.isdisjoint(second)  # fresh generation, old one deleted
         _assert_loaded_identical(rt_model, path, service, mmap=True)
 

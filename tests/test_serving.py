@@ -1140,7 +1140,7 @@ class _ScriptedConn:
     def send(self, message):
         self.sent.append(message)
         if message[0] == "score":
-            _, _, shard, _trace_id = message
+            _, _, shard, _trace_id, *_options = message
             self._replies.append(("ok", ({tid: 0.0 for tid in shard}, None)))
 
     def poll(self, timeout=None):
@@ -1203,7 +1203,9 @@ class TestFailurePathHardening:
             scores = pool.score(None, [[], ["a", "b"], []], timeout=1.0)
             assert scores == {"a": 0.0, "b": 0.0}
             messages = [m for conn in conns for m in conn.sent]
-            assert messages == [("score", None, ["a", "b"], None)]
+            assert messages == [
+                ("score", None, ["a", "b"], None, {"fused": None})
+            ]
 
             # All-empty scatter: answered locally, nothing sent at all.
             assert pool.score(None, [[], []], timeout=1.0) == {}
