@@ -1,26 +1,51 @@
-"""Clinical-trial scenario: find the raw ECG recordings behind a chart (Sec. I).
+"""Clinical streaming scenario: arrhythmia alerts on a live ECG feed (Sec. I).
 
 The paper motivates dataset discovery via line charts with, among others, a
 clinical use case: a doctor has an ECG *chart* and needs the raw recordings
-that produced it (or recordings with the same morphology) for downstream
-analytics.  This example builds a small lake of synthetic ECG-like recordings
-(different heart rates, amplitudes and noise levels), takes a chart of one
-recording as the query, and retrieves the most compatible recordings using
-both the exact ground-truth relevance and a trained FCM.
+that produced it (or recordings with the same morphology).  Earlier versions
+of this example treated the feed as a batch corpus and re-indexed the whole
+recording on every poll; this version uses the streaming serving API
+instead — the live recording grows through
+:meth:`~repro.serving.SearchService.append_rows` (only the window segments a
+batch touches are re-encoded) and a standing subscription on an arrhythmia
+pattern chart fires an alert the moment a freshly ingested window starts
+matching.
+
+The script doubles as the CI ingest soak (see the ``streaming-smoke`` job):
+it asserts zero errors across the ingest batches, that tail appends re-encode
+a strict subset of the stream's segments, that the subscription fires within
+one ingest batch of the synthesized onset (with the alert visible in a trace
+span), and that the streamed index ranks exactly like a from-scratch rebuild.
+Any violated assertion exits non-zero.
 
 Run with::
 
     python examples/ecg_pattern_lookup.py
+
+``REPRO_ECG_EPOCHS`` overrides the (tiny) training epoch count.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.charts import render_chart_for_table
-from repro.data import Column, CorpusRecord, DataRepository, Table, VisualizationSpec
+from repro.data import Column, CorpusRecord, Table, VisualizationSpec
 from repro.fcm import FCMConfig, FCMScorer, TrainerConfig, train_fcm
-from repro.fcm.training import ground_truth_relevance
+from repro.index.lsh import LSHConfig
+from repro.nn import default_dtype
+from repro.serving import SearchService, ServingConfig, StreamingConfig
+
+#: Streaming window size; the feed below is batch-aligned so the arrhythmia
+#: onset fills exactly one window.
+WINDOW = 64
+#: Rows per normal-rhythm ingest batch (deliberately not a window multiple,
+#: so appends straddle window boundaries and exercise tail re-encoding).
+NORMAL_BATCH = 48
+#: Normal batches before the onset (192 rows = 3 sealed windows).
+NORMAL_BATCHES = 4
 
 
 def synthetic_ecg(
@@ -40,12 +65,12 @@ def synthetic_ecg(
     return signal + rng.normal(0.0, noise, size=num_samples)
 
 
-def build_ecg_lake(num_patients: int = 12, num_samples: int = 240) -> list[CorpusRecord]:
+def build_ecg_lake(num_patients: int = 8, num_samples: int = 240) -> list[CorpusRecord]:
     """One table per patient, each with two leads of the same rhythm."""
     records = []
     rng = np.random.default_rng(7)
     for patient in range(num_patients):
-        heart_rate = float(rng.uniform(50, 110))
+        heart_rate = float(rng.uniform(2.0, 9.0))
         amplitude = float(rng.uniform(0.8, 1.6))
         noise = float(rng.uniform(0.01, 0.06))
         lead_i = synthetic_ecg(num_samples, heart_rate, amplitude, noise, seed=patient)
@@ -65,51 +90,199 @@ def build_ecg_lake(num_patients: int = 12, num_samples: int = 240) -> list[Corpu
     return records
 
 
+def live_feed() -> list[np.ndarray]:
+    """The simulated live recording: normal batches, then an onset window.
+
+    The normal rhythm is a regular spiky QRS train; the arrhythmia that
+    arrives as the final batch is ventricular flutter, which on an ECG is a
+    smooth high-amplitude sinusoid — morphologically unmistakable from the
+    beats before it.  The onset batch is window-aligned so the flutter fills
+    exactly one streaming segment.
+    """
+    normal = synthetic_ecg(
+        NORMAL_BATCH * NORMAL_BATCHES, heart_rate_hz=7.0, amplitude=1.0,
+        noise=0.02, seed=42,
+    )
+    batches = [
+        normal[i * NORMAL_BATCH : (i + 1) * NORMAL_BATCH]
+        for i in range(NORMAL_BATCHES)
+    ]
+    t = np.arange(WINDOW, dtype=float)
+    flutter = 3.0 * np.sin(2 * np.pi * t / 32.0)
+    flutter += np.random.default_rng(43).normal(0.0, 0.02, WINDOW)
+    return batches + [flutter]
+
+
+def window_states(batch_sizes: list[int]) -> list[tuple[int, int, int]]:
+    """Replay the stream's window partitioning: (window, lo, hi) per dirty
+    window per batch — every segment state the subscription will score."""
+    states = []
+    total = 0
+    for size in batch_sizes:
+        new_total = total + size
+        for window in range(total // WINDOW, (new_total - 1) // WINDOW + 1):
+            states.append((window, window * WINDOW, min((window + 1) * WINDOW, new_total)))
+        total = new_total
+    return states
+
+
+def span_names(tree: dict) -> list[str]:
+    return [tree["name"]] + [
+        name for child in tree.get("children", []) for name in span_names(child)
+    ]
+
+
 def main() -> None:
     print("== Building a lake of synthetic ECG recordings ==")
     records = build_ecg_lake()
-    repository = DataRepository([r.table for r in records])
-    print(f"   {len(repository)} patient recordings, 2 leads each")
+    print(f"   {len(records)} patient recordings, 2 leads each")
 
-    query_record = records[3]
-    chart = render_chart_for_table(
-        query_record.table, ["lead_i", "lead_ii"], x_column="sample"
+    epochs = int(os.environ.get("REPRO_ECG_EPOCHS", "4"))
+    config = FCMConfig(
+        embed_dim=16, num_layers=1, data_segment_size=32, beta=2, max_data_segments=4
     )
-    print(f"== Query: the chart of {query_record.table.table_id} "
-          f"({chart.num_lines} lines) ==")
-
-    print("== Exact ground-truth relevance Rel(D, T) (DTW + bipartite matching) ==")
-    scored = sorted(
-        ((t.table_id, ground_truth_relevance(chart.underlying, t, max_points=64)) for t in repository),
-        key=lambda item: item[1],
-        reverse=True,
-    )
-    for rank, (table_id, score) in enumerate(scored[:3], start=1):
-        marker = "  <-- query's own recording" if table_id == query_record.table.table_id else ""
-        print(f"     {rank}. {table_id:<16s} Rel={score:.3f}{marker}")
-
-    print("== Training a small FCM on the other recordings and querying ==")
-    train_records = [r for r in records if r.table.table_id != query_record.table.table_id]
-    config = FCMConfig(embed_dim=16, num_layers=1, data_segment_size=32, beta=2,
-                       max_data_segments=4)
+    print(f"== Training a small FCM ({epochs} epochs) ==")
     model, history, _ = train_fcm(
-        train_records,
+        records,
         config=config,
-        trainer_config=TrainerConfig(epochs=6, batch_size=6, num_negatives=2),
+        trainer_config=TrainerConfig(epochs=epochs, batch_size=6, num_negatives=2),
         aggregated_fraction=0.0,
     )
-    print(f"   trained {len(history.epochs)} epochs, final loss {history.final_loss:.3f}")
+    print(f"   final loss {history.final_loss:.3f}")
 
-    scorer = FCMScorer(model)
-    scorer.index_repository(repository)
-    query_chart = render_chart_for_table(
-        query_record.table, ["lead_i", "lead_ii"], x_column="sample", spec=config.chart_spec
+    serving = ServingConfig(
+        lsh_config=LSHConfig(num_bits=8, hamming_radius=1),
+        streaming=StreamingConfig(segment_rows=WINDOW),
+        tracing=True,
     )
-    top = scorer.rank(query_chart, k=3)
-    print("   FCM top-3 recordings:")
-    for rank, (table_id, score) in enumerate(top, start=1):
-        marker = "  <-- query's own recording" if table_id == query_record.table.table_id else ""
-        print(f"     {rank}. {table_id:<16s} Rel'={score:.3f}{marker}")
+    service = SearchService(model, serving)
+    service.build([r.table for r in records])
+
+    batches = live_feed()
+    onset = batches[-1]
+    onset_start = NORMAL_BATCH * NORMAL_BATCHES
+    stream_id = "ecg_live"
+    feed = np.concatenate(batches)
+
+    # The standing query: a chart of the flutter morphology the ward is
+    # watching for, over the samples where it may appear.
+    pattern_table = Table(
+        "flutter_pattern",
+        [
+            Column("sample", np.arange(onset_start, onset_start + WINDOW, dtype=float), role="x"),
+            Column("lead", onset, role="y"),
+        ],
+    )
+    pattern_chart = render_chart_for_table(
+        pattern_table, ["lead"], x_column="sample", spec=config.chart_spec
+    )
+
+    # Calibrate the alert threshold by replaying the stream's window
+    # partitioning on a throwaway scorer: every segment state the
+    # subscription will score gets a preview score, and the threshold sits
+    # halfway between the normal rhythm's ceiling and the flutter window.
+    preview = FCMScorer(model)
+    chart_input = preview.prepare_query(pattern_chart)
+    onset_window = onset_start // WINDOW
+    preview_ids: dict[str, int] = {}
+    for window, lo, hi in window_states([b.size for b in batches]):
+        table_id = f"preview-w{window}-{hi - lo}"
+        preview.index_table(
+            Table(
+                table_id,
+                [
+                    Column("sample", np.arange(lo, hi, dtype=float), role="x"),
+                    Column("lead", feed[lo:hi], role="y"),
+                ],
+            )
+        )
+        preview_ids[table_id] = window
+    scores = preview.score_encoded_batch(chart_input, list(preview_ids))
+    max_normal = max(s for i, s in scores.items() if preview_ids[i] != onset_window)
+    onset_score = min(s for i, s in scores.items() if preview_ids[i] == onset_window)
+    assert onset_score > max_normal, (
+        f"calibration failed: flutter morphology ({onset_score:.3f}) does not "
+        f"stand out from normal rhythm (max {max_normal:.3f})"
+    )
+    threshold = 0.5 * (max_normal + onset_score)
+    print(
+        f"== Standing subscription: threshold {threshold:.3f} "
+        f"(normal ceiling {max_normal:.3f}, flutter {onset_score:.3f}) =="
+    )
+    alerts: list = []
+    subscription_id = service.subscribe(
+        pattern_chart, k=1, threshold=threshold, callback=alerts.append
+    )
+
+    print("== Streaming the live recording: normal rhythm must stay quiet ==")
+    start = 0
+    for batch_index, batch in enumerate(batches[:-1]):
+        result = service.append_rows(
+            stream_id,
+            {"sample": np.arange(start, start + batch.size, dtype=float),
+             "lead": batch},
+            roles={"sample": "x"} if batch_index == 0 else None,
+        )
+        start += batch.size
+        assert result.events_fired == 0, (
+            f"false alert on normal batch {batch_index}: "
+            f"{[e.to_dict() for e in service.poll(subscription_id)]}"
+        )
+        if result.segments_total > 2:
+            assert result.reencode_fraction < 1.0, (
+                "a tail append re-encoded every segment of the stream"
+            )
+        print(
+            f"   batch {batch_index}: +{result.rows_appended} rows, quiet, "
+            f"{len(result.dirty_segments)}/{result.segments_total} segments "
+            f"re-encoded"
+        )
+
+    print("== Ventricular flutter onset arrives ==")
+    result = service.append_rows(
+        stream_id,
+        {"sample": np.arange(onset_start, onset_start + WINDOW, dtype=float),
+         "lead": onset},
+    )
+    assert result.reencode_fraction < 1.0
+    assert result.events_fired >= 1, "subscription did not fire on the onset batch"
+    events = service.poll(subscription_id)
+    alert = events[0]
+    assert alert.segment_id in result.dirty_segments, (
+        "alert fired for a segment outside the onset batch"
+    )
+    assert alerts and alerts[0].segment_id == alert.segment_id
+    names = span_names(service.last_trace)
+    assert "subscription" in names, f"no subscription span in trace: {names}"
+    print(
+        f"   ALERT: {alert.table_id} window {alert.segment_id} scored "
+        f"{alert.score:.3f} >= {threshold:.3f} (within one ingest batch; "
+        f"trace spans: {names})"
+    )
+
+    print("== Parity: streamed index vs from-scratch rebuild ==")
+    rebuilt = SearchService(model, serving)
+    rebuilt.build([r.table for r in records])
+    history_rows = feed
+    rebuilt.append_rows(
+        stream_id,
+        {"sample": np.arange(history_rows.size, dtype=float), "lead": history_rows},
+        roles={"sample": "x"},
+    )
+    tolerance = 5e-5 if np.dtype(default_dtype()) == np.float32 else 1e-8
+    for strategy in ("none", "interval", "lsh", "hybrid"):
+        streamed = service.query(pattern_chart, 5, strategy=strategy).ranking
+        reference = rebuilt.query(pattern_chart, 5, strategy=strategy).ranking
+        assert [t for t, _ in streamed] == [t for t, _ in reference], (
+            f"{strategy}: ranking order diverged: {streamed} vs {reference}"
+        )
+        assert all(
+            abs(a - b) <= tolerance
+            for (_, a), (_, b) in zip(streamed, reference)
+        ), f"{strategy}: scores diverged beyond {tolerance}"
+        print(f"   {strategy:<8s} rankings match (top: {streamed[0][0]})")
+    print("== Done: alert fired within one ingest batch, streamed index "
+          "matches a full rebuild ==")
 
 
 if __name__ == "__main__":

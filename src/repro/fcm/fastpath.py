@@ -59,6 +59,7 @@ __all__ = [
     "PREFILTER_DTYPE",
     "PREFILTER_POOL",
     "quantize_table",
+    "pooled_vectors",
     "build_quantized_pack",
     "quantized_scores",
     "CoarseCache",
@@ -530,14 +531,42 @@ def _pooled_dequant(quantized: QuantizedTable, pool: int) -> np.ndarray:
     return padded.reshape(nc, ns, pool, dim).sum(axis=2) / counts[None, :, None]
 
 
+def pooled_vectors(
+    quantized: QuantizedTable, pool: int = PREFILTER_POOL
+) -> np.ndarray:
+    """The pooled float vectors one table contributes to a pack.
+
+    Public wrapper around the per-table pooling step of
+    :func:`build_quantized_pack`, so callers that maintain an incremental
+    pack (the scorer's dirty-segment refresh: only entries whose content
+    changed are re-pooled) compute exactly the vectors a from-scratch pack
+    build would.
+    """
+    return _pooled_dequant(quantized, pool)
+
+
 def build_quantized_pack(
     items: Sequence[Tuple[str, QuantizedTable]],
     pool: int = PREFILTER_POOL,
+    pooled: Optional[Sequence[np.ndarray]] = None,
 ) -> QuantizedPack:
-    """Pool + re-quantize every table and pad into one scoring batch."""
+    """Pool + re-quantize every table and pad into one scoring batch.
+
+    ``pooled`` optionally supplies the per-table pooled vectors (one array
+    per item, as produced by :func:`pooled_vectors` with the same ``pool``)
+    so an incremental caller only pays the pooling cost for entries whose
+    content actually changed; ``None`` pools everything here.
+    """
     table_ids = tuple(table_id for table_id, _ in items)
     index = {table_id: position for position, table_id in enumerate(table_ids)}
-    pooled = [_pooled_dequant(quantized, pool) for _, quantized in items]
+    if pooled is None:
+        pooled = [_pooled_dequant(quantized, pool) for _, quantized in items]
+    else:
+        if len(pooled) != len(items):
+            raise ValueError(
+                f"pooled= carries {len(pooled)} arrays for {len(items)} items"
+            )
+        pooled = list(pooled)
     if not pooled:
         return QuantizedPack(
             table_ids=table_ids,

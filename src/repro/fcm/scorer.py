@@ -59,6 +59,7 @@ from .fastpath import (
     build_coarse_cache,
     build_quantized_pack,
     coarse_scores,
+    pooled_vectors,
     quantize_table,
     quantized_scores,
 )
@@ -157,6 +158,21 @@ class FCMScorer:
         )
         self._quant_pack: Optional[QuantizedPack] = None
         self._coarse_cache: Optional[CoarseCache] = None
+        # Stream (segment-granular) registry: a *stream* table is stored as
+        # an ordered family of window-segment entries in ``_encoded`` (each
+        # under a composite segment id) and scored through a composed
+        # parent-level EncodedTable built by concatenating the per-window
+        # representations.  ``_segments`` maps parent id -> ordered segment
+        # ids, ``_segment_owner`` is the reverse map, ``_composed`` caches
+        # the composed entries (invalidated per-parent when a segment of
+        # that parent changes — never wholesale).
+        self._segments: Dict[str, List[str]] = {}
+        self._segment_owner: Dict[str, str] = {}
+        self._composed: Dict[str, EncodedTable] = {}
+        # Per-entry pooled coarse vectors for the quantized pack: keyed by
+        # scorable/segment id and invalidated per-entry, so a dirty-segment
+        # refresh re-pools only what changed instead of the whole index.
+        self._pooled: Dict[str, np.ndarray] = {}
         # Maps chart *content hash* -> ChartInput (see LineChart.fingerprint):
         # equal charts share an entry even when they are distinct objects,
         # and a chart mutated in place hashes to a new key, so entries can
@@ -179,6 +195,7 @@ class FCMScorer:
             quantized=quantize_table(representations),
         )
         self._encoded[table.table_id] = encoded
+        self._touch_entry(table.table_id)
         self._invalidate_candidates()
         return encoded
 
@@ -256,25 +273,144 @@ class FCMScorer:
         indexing), so mapped entries behave exactly like heap copies.
         """
         self._encoded[encoded.table_id] = encoded
+        self._touch_entry(encoded.table_id)
         self._invalidate_candidates()
 
     def evict_table(self, table_id: str) -> bool:
         """Drop the cached encoding of ``table_id`` (incremental removal)."""
         removed = self._encoded.pop(table_id, None) is not None
         if removed:
+            self._touch_entry(table_id)
             self._invalidate_candidates()
         return removed
 
     def _invalidate_candidates(self) -> None:
         """The table set changed: padded batches and the quantized pack built
-        from the previous set can no longer be reused."""
+        from the previous set can no longer be reused.  Per-entry state
+        (pooled coarse vectors, composed stream entries) is invalidated at
+        finer grain by :meth:`_touch_entry` — a dirty segment only discards
+        its own and its parent's derived state."""
         self._pad_cache.clear()
         self._quant_pack = None
         self._coarse_cache = None
 
+    def _touch_entry(self, table_id: str) -> None:
+        """Per-entry invalidation: ``table_id``'s content changed (or it was
+        evicted), so its pooled coarse vectors — and, for a stream segment,
+        the owning parent's composed entry and pooled vectors — are stale."""
+        self._pooled.pop(table_id, None)
+        owner = self._segment_owner.get(table_id)
+        if owner is not None:
+            self._composed.pop(owner, None)
+            self._pooled.pop(owner, None)
+
+    # ------------------------------------------------------------------ #
+    # Streams: segment families composed into parent-level entries
+    # ------------------------------------------------------------------ #
+    def bind_stream(self, parent_id: str, segment_ids: Sequence[str]) -> None:
+        """Register (or replace) the ordered segment family of a stream.
+
+        Every segment id must already be encoded (``_encoded``); the parent
+        becomes scorable through the composed entry returned by
+        :meth:`encoded_table`.  Rebinding after an append drops only the
+        parent's composed/pooled state — sealed segments keep theirs.
+        """
+        segment_ids = list(segment_ids)
+        if not segment_ids:
+            raise ValueError(f"stream {parent_id!r} needs at least one segment")
+        missing = [s for s in segment_ids if s not in self._encoded]
+        if missing:
+            raise KeyError(
+                f"stream {parent_id!r} references unencoded segment(s) {missing}"
+            )
+        for stale in self._segments.get(parent_id, ()):  # rebind: drop old owners
+            self._segment_owner.pop(stale, None)
+        self._segments[parent_id] = segment_ids
+        for segment_id in segment_ids:
+            self._segment_owner[segment_id] = parent_id
+        self._composed.pop(parent_id, None)
+        self._pooled.pop(parent_id, None)
+        self._invalidate_candidates()
+
+    def drop_stream(self, parent_id: str) -> List[str]:
+        """Forget a stream's registry entry; returns its segment ids.
+
+        The segment encodings themselves are *not* evicted here — callers
+        evict them individually (they may be mid-replacement).
+        """
+        segment_ids = self._segments.pop(parent_id, [])
+        for segment_id in segment_ids:
+            self._segment_owner.pop(segment_id, None)
+        self._composed.pop(parent_id, None)
+        self._pooled.pop(parent_id, None)
+        if segment_ids:
+            self._invalidate_candidates()
+        return list(segment_ids)
+
+    def is_stream(self, table_id: str) -> bool:
+        return table_id in self._segments
+
+    def segment_owner(self, table_id: str) -> Optional[str]:
+        """The stream parent owning segment ``table_id`` (``None`` otherwise)."""
+        return self._segment_owner.get(table_id)
+
+    def stream_segment_ids(self, parent_id: str) -> List[str]:
+        return list(self._segments.get(parent_id, ()))
+
+    def _compose_stream(self, parent_id: str) -> EncodedTable:
+        """The parent-level entry of a stream: per-window representations
+        concatenated along the segment axis, ranges merged element-wise.
+
+        Deterministic in the segment contents alone, so an incrementally
+        grown stream composes bit-identically to a from-scratch rebuild
+        over the same rows (the streaming-parity property).
+        """
+        cached = self._composed.get(parent_id)
+        if cached is not None:
+            return cached
+        parts = [self._encoded[s] for s in self._segments[parent_id]]
+        names = list(parts[0].column_names)
+        for part in parts[1:]:
+            if list(part.column_names) != names:
+                raise ValueError(
+                    f"stream {parent_id!r} has segments with mismatched "
+                    f"columns: {names} vs {list(part.column_names)}"
+                )
+        representations = np.concatenate(
+            [part.representations for part in parts], axis=1
+        )
+        ranges: List[Tuple[float, float]] = []
+        for column in range(len(names)):
+            lows_highs = [part.column_ranges[column] for part in parts]
+            ranges.append(
+                (
+                    min(float(pair[0]) for pair in lows_highs),
+                    max(float(pair[1]) for pair in lows_highs),
+                )
+            )
+        composed = EncodedTable(
+            table_id=parent_id,
+            representations=representations,
+            column_names=names,
+            column_ranges=ranges,
+            column_embeddings=representations.mean(axis=1),
+            quantized=quantize_table(representations),
+        )
+        self._composed[parent_id] = composed
+        return composed
+
     @property
     def indexed_table_ids(self) -> List[str]:
-        return list(self._encoded.keys())
+        """The scorable ids: plain tables plus stream parents.
+
+        Stream *segment* ids are internal — they never appear here; the
+        parent id (scored through its composed entry) does.
+        """
+        if not self._segments:
+            return list(self._encoded.keys())
+        ids = [t for t in self._encoded if t not in self._segment_owner]
+        ids.extend(self._segments.keys())
+        return ids
 
     def cache_nbytes(self) -> int:
         """Total bytes of the cached encoding arrays (reps + column embeddings).
@@ -287,9 +423,20 @@ class FCMScorer:
         return sum(
             int(e.representations.nbytes) + int(e.column_embeddings.nbytes)
             for e in self._encoded.values()
+        ) + sum(
+            int(e.representations.nbytes) + int(e.column_embeddings.nbytes)
+            for e in self._composed.values()
         )
 
     def encoded_table(self, table_id: str) -> EncodedTable:
+        """The cached entry for ``table_id`` — composed for stream parents.
+
+        Plain tables and stream *segments* come straight from the cache; a
+        stream parent id returns the composed (concatenated) entry, built
+        lazily and cached until one of its segments changes.
+        """
+        if table_id in self._segments:
+            return self._compose_stream(table_id)
         if table_id not in self._encoded:
             raise KeyError(f"table {table_id!r} has not been indexed")
         return self._encoded[table_id]
@@ -532,18 +679,34 @@ class FCMScorer:
 
         Tables whose :attr:`EncodedTable.quantized` is ``None`` (snapshots
         predating the q8 sidecar, worker sync payloads from older peers) are
-        quantized here from their float representations; the pack is rebuilt
-        whenever the table set changes.
+        quantized here from their float representations.  The pack covers
+        every scorable id (plain tables + composed stream parents) **and**
+        every stream segment id, so the coarse pass serves both query
+        pre-filtering (parents) and subscription notification on dirty
+        windows (segments).  The padded pack arrays are rebuilt whenever
+        the table set changes, but the per-entry pooled vectors are cached
+        and only recomputed for entries whose content changed — the
+        dirty-segment refresh: a tail-window append re-pools one segment
+        and its parent, not the whole index.
         """
         if self._quant_pack is None:
+            ids = list(self._encoded.keys())
+            ids.extend(self._segments.keys())
             items = []
-            for table_id, encoded in self._encoded.items():
+            pooled: List[np.ndarray] = []
+            for table_id in ids:
+                encoded = self.encoded_table(table_id)
                 quantized = encoded.quantized
                 if quantized is None:
                     quantized = quantize_table(encoded.representations)
                     encoded.quantized = quantized
+                vectors = self._pooled.get(table_id)
+                if vectors is None:
+                    vectors = pooled_vectors(quantized)
+                    self._pooled[table_id] = vectors
                 items.append((table_id, quantized))
-            self._quant_pack = build_quantized_pack(items)
+                pooled.append(vectors)
+            self._quant_pack = build_quantized_pack(items, pooled=pooled)
         return self._quant_pack
 
     def prefilter_ids(

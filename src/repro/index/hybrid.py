@@ -80,6 +80,15 @@ class HybridQueryProcessor:
         # ``None`` values mark tables known only through a restored snapshot
         # (their encodings are cached, the raw Table object was not saved).
         self._tables: Dict[str, Optional[Table]] = {}
+        # Streaming tables: parent id -> ordered window-segment ids.  The
+        # segments live in the index structures and the scorer's encoding
+        # cache; the parent lives in ``_tables`` (value ``None``) so queries
+        # rank parents, never raw segments.  ``stream_states`` carries the
+        # append-engine bookkeeping (row counts, unsealed tail rows) owned by
+        # ``repro.serving.streaming`` — kept here so persistence can snapshot
+        # and restore it without an import cycle.
+        self._streams: Dict[str, List[str]] = {}
+        self.stream_states: Dict[str, dict] = {}
 
     # ------------------------------------------------------------------ #
     # Build phase
@@ -100,6 +109,11 @@ class HybridQueryProcessor:
         producing the same cached encodings the per-table path would.
         """
         tables = list(tables)
+        for parent_id in list(self._streams):
+            for seg_id in self.scorer.drop_stream(parent_id):
+                self.scorer.evict_table(seg_id)
+        self._streams = {}
+        self.stream_states = {}
         self._tables = {table.table_id: table for table in tables}
         self.scorer.index_repository(tables)
 
@@ -188,10 +202,21 @@ class HybridQueryProcessor:
             if table_id not in self._tables:
                 continue
             del self._tables[table_id]
-            self.interval_tree.remove_table(table_id)
-            if self.lsh is not None:
-                self.lsh.remove(table_id)
-            self.scorer.evict_table(table_id)
+            if table_id in self._streams:
+                # A streaming table lives in the structures as its window
+                # segments: drop each segment everywhere, then the family.
+                for seg_id in self._streams.pop(table_id):
+                    self.interval_tree.remove_table(seg_id)
+                    if self.lsh is not None:
+                        self.lsh.remove(seg_id)
+                    self.scorer.evict_table(seg_id)
+                self.scorer.drop_stream(table_id)
+                self.stream_states.pop(table_id, None)
+            else:
+                self.interval_tree.remove_table(table_id)
+                if self.lsh is not None:
+                    self.lsh.remove(table_id)
+                self.scorer.evict_table(table_id)
             removed += 1
         self.build_stats.num_tables = len(self._tables)
         return removed
@@ -206,9 +231,56 @@ class HybridQueryProcessor:
         self._tables[table_id] = table
         self.build_stats.num_tables = len(self._tables)
 
+    def register_stream(
+        self,
+        parent_id: str,
+        segment_ids: Sequence[str],
+        state: Optional[dict] = None,
+    ) -> None:
+        """Track ``parent_id`` as a streaming table made of ``segment_ids``.
+
+        Called by the append engine (``repro.serving.streaming``) when a
+        stream is created or its segment family changes, and by the
+        persistence layer when restoring a snapshot that carried streams.
+        The segments must already be encoded in the scorer; the parent is
+        registered as a queryable id backed by the scorer's composed entry.
+        """
+        self._tables[parent_id] = None
+        self._streams[parent_id] = list(segment_ids)
+        if state is not None:
+            self.stream_states[parent_id] = state
+        self.scorer.bind_stream(parent_id, segment_ids)
+        self.build_stats.num_tables = len(self._tables)
+
+    @property
+    def streams(self) -> Dict[str, List[str]]:
+        """Parent id -> ordered segment ids for every streaming table."""
+        return {parent: list(segs) for parent, segs in self._streams.items()}
+
     @property
     def table_ids(self) -> List[str]:
         return list(self._tables.keys())
+
+    @property
+    def persisted_table_ids(self) -> List[str]:
+        """The ids whose encodings a snapshot must carry.
+
+        Static tables persist as themselves; a streaming table persists as
+        its window segments (the parent's composed entry is derived state,
+        rebuilt from the segments on load), so parents are replaced by their
+        segment families here.
+        """
+        ids = [tid for tid in self._tables if tid not in self._streams]
+        for parent in self._streams:
+            ids.extend(self._streams[parent])
+        return ids
+
+    def _to_parents(self, found: Set[str]) -> Set[str]:
+        """Map segment ids in a raw candidate set to their stream parents."""
+        if not self._streams:
+            return found
+        owner = self.scorer.segment_owner
+        return {owner(table_id) or table_id for table_id in found}
 
     # ------------------------------------------------------------------ #
     # Candidate generation
@@ -233,24 +305,28 @@ class HybridQueryProcessor:
         if strategy == "none":
             return all_ids
         chart_input = self.scorer.prepare_query(chart)
+        # Streaming tables are indexed as window segments, so raw index hits
+        # are mapped segment -> parent *before* intersecting: a hit on any
+        # window of a stream makes the whole stream a candidate.
         if strategy == "interval":
             with span("interval_tree") as sp:
-                found = self._interval_candidates(chart_input) & all_ids
+                found = self._to_parents(self._interval_candidates(chart_input))
+                found &= all_ids
                 if sp is not None:
                     sp.attributes["candidates"] = len(found)
             return found
         if strategy == "lsh":
             with span("lsh_lookup") as sp:
-                found = self._lsh_candidates(chart) & all_ids
+                found = self._to_parents(self._lsh_candidates(chart)) & all_ids
                 if sp is not None:
                     sp.attributes["candidates"] = len(found)
             return found
         with span("interval_tree") as sp:
-            interval_set = self._interval_candidates(chart_input)
+            interval_set = self._to_parents(self._interval_candidates(chart_input))
             if sp is not None:
                 sp.attributes["candidates"] = len(interval_set)
         with span("lsh_lookup") as sp:
-            lsh_set = self._lsh_candidates(chart)
+            lsh_set = self._to_parents(self._lsh_candidates(chart))
             if sp is not None:
                 sp.attributes["candidates"] = len(lsh_set)
         return interval_set & lsh_set & all_ids

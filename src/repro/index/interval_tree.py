@@ -128,6 +128,19 @@ class IntervalTree:
                 )
             )
 
+    def replace_table(self, table: Table) -> None:
+        """Atomically refresh every interval of ``table`` (streaming ingest).
+
+        Equivalent to ``remove_table`` followed by ``add_table`` — the
+        idiom of the windowed streaming path, where a partially filled tail
+        window is re-encoded on every append batch and its (segment-id)
+        intervals must track the new content.  Exactness is inherited: the
+        re-add of a tombstoned id compacts first, so a stale tree copy can
+        never resurrect alongside the replacement.
+        """
+        self.remove_table(table.table_id)
+        self.add_table(table)
+
     def remove_table(self, table_id: str) -> int:
         """Drop every interval of ``table_id``; returns how many were removed.
 

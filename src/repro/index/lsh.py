@@ -125,6 +125,16 @@ class RandomHyperplaneLSH:
             self._buckets[code].add(table_id)
             self._codes[table_id].add(code)
 
+    def replace(self, table_id: str, embeddings: np.ndarray) -> None:
+        """Atomically refresh ``table_id``'s codes (streaming ingest).
+
+        Equivalent to :meth:`remove` followed by :meth:`add` — used by the
+        windowed streaming path when a partially filled tail segment is
+        re-encoded and its column embeddings (hence codes) change.
+        """
+        self.remove(table_id)
+        self.add(table_id, embeddings)
+
     def remove(self, table_id: str) -> bool:
         """Drop ``table_id`` from every bucket; returns whether it was indexed.
 

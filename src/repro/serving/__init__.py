@@ -38,6 +38,16 @@ from .sharding import (
     encode_tables_sharded,
     shard_tables,
 )
+from .streaming import (
+    STREAM_SEGMENT_SEP,
+    AppendResult,
+    StreamingConfig,
+    SubscriptionEngine,
+    SubscriptionEvent,
+    SubscriptionStats,
+    append_stream_rows,
+    segment_table_id,
+)
 from .workers import (
     QueryWorkerPool,
     WorkerPoolError,
@@ -49,6 +59,8 @@ __all__ = [
     "CLOSED_FALLBACK_REASON",
     "SNAPSHOT_VERSION",
     "SNAPSHOT_VERSION_V2",
+    "STREAM_SEGMENT_SEP",
+    "AppendResult",
     "ChartSearchServer",
     "HTTPServingConfig",
     "QueryWorkerPool",
@@ -58,13 +70,19 @@ __all__ = [
     "ShardBuildReport",
     "SnapshotError",
     "StrategyStats",
+    "StreamingConfig",
+    "SubscriptionEngine",
+    "SubscriptionEvent",
+    "SubscriptionStats",
     "WorkerPoolError",
     "WorkerPoolStats",
+    "append_stream_rows",
     "build_worker_scorer",
     "compact_snapshot",
     "encode_tables_sharded",
     "load_processor",
     "save_processor",
+    "segment_table_id",
     "shard_tables",
     "snapshot_encodings",
     "snapshot_layout",

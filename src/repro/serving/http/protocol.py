@@ -238,6 +238,79 @@ def parse_tables_payload(payload: object) -> List[Table]:
     return tables
 
 
+def parse_rows_payload(payload: object) -> Tuple[Dict[str, np.ndarray], Dict[str, str]]:
+    """Validate a ``POST /tables/{id}/rows`` body → ``(columns, roles)``.
+
+    Expected shape::
+
+        {"columns": [{"name": str, "values": [..], "role": "x"|"y"?}, ...]}
+
+    The same column idiom as ``POST /tables`` minus the ``table_id`` (it
+    rides in the path).  ``role`` is only honoured on the append that
+    creates the stream; later appends must carry the stream's columns.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = set(payload) - {"columns"}
+    _require(not unknown, f"unknown request keys: {sorted(unknown)}")
+    columns_payload = payload.get("columns")
+    _require(
+        isinstance(columns_payload, (list, tuple)) and len(columns_payload) > 0,
+        "columns must be a non-empty array",
+    )
+    columns: Dict[str, np.ndarray] = {}
+    roles: Dict[str, str] = {}
+    for index, entry in enumerate(columns_payload):
+        what = f"columns[{index}]"
+        _require(isinstance(entry, dict), f"{what} must be a JSON object")
+        unknown = set(entry) - {"name", "values", "role"}
+        _require(not unknown, f"unknown {what} keys: {sorted(unknown)}")
+        name = entry.get("name")
+        _require(
+            isinstance(name, str) and bool(name),
+            f"{what}.name must be a non-empty string",
+        )
+        _require(name not in columns, f"duplicate column name {name!r}")
+        role = entry.get("role")
+        _require(
+            role is None or role in ("x", "y"),
+            f"{what}.role must be 'x', 'y' or omitted",
+        )
+        columns[name] = _as_float_array(entry.get("values"), f"{what}.values")
+        if role is not None:
+            roles[name] = role
+    return columns, roles
+
+
+def parse_subscribe_payload(
+    payload: object, spec: ChartSpec
+) -> Tuple[LineChart, int, float]:
+    """Validate a ``POST /subscriptions`` body → ``(chart, k, threshold)``.
+
+    ``chart`` uses the standard chart payload; ``k`` (events per ingest
+    batch, default 1) must be a positive integer and ``threshold`` (minimum
+    exact score that fires an event, default 0.0) a finite number.
+    """
+    _require(isinstance(payload, dict), "request body must be a JSON object")
+    unknown = set(payload) - {"chart", "k", "threshold"}
+    _require(not unknown, f"unknown request keys: {sorted(unknown)}")
+    _require("chart" in payload, "missing required key 'chart'")
+    k = payload.get("k", 1)
+    _require(
+        isinstance(k, int) and not isinstance(k, bool),
+        "k must be an integer",
+    )
+    _require(k >= 1, f"k must be >= 1, got {k}")
+    threshold = payload.get("threshold", 0.0)
+    _require(
+        isinstance(threshold, (int, float)) and not isinstance(threshold, bool),
+        "threshold must be a number",
+    )
+    threshold = float(threshold)
+    _require(np.isfinite(threshold), "threshold must be finite")
+    chart = parse_chart_payload(payload["chart"], spec)
+    return chart, int(k), threshold
+
+
 def parse_snapshot_payload(
     payload: object, default_path: Optional[str]
 ) -> Tuple[str, bool]:

@@ -7,18 +7,27 @@ beyond what the repository already imports.
 
 Endpoints
 ---------
-==========================  =================================================
-``POST /query``             top-``k`` search for a JSON chart payload
-``POST /tables``            add tables to the live index
-``DELETE /tables/<id>``     remove one table
-``GET /tables``             list indexed table ids
-``POST /snapshot``          persist the index (full base or O(delta) append)
-``GET /healthz``            liveness (503 while draining)
-``GET /metrics``            per-endpoint latency/status counters + the
-                            per-strategy stats the service already tracks
-                            (JSON; ``?format=prometheus`` renders the same
-                            registry in the Prometheus text exposition)
-==========================  =================================================
+==============================  =============================================
+``POST /query``                 top-``k`` search for a JSON chart payload
+``POST /tables``                add tables to the live index
+``DELETE /tables/<id>``         remove one table
+``GET /tables``                 list indexed table ids
+``POST /tables/<id>/rows``      streaming ingest: append rows to a live
+                                stream, re-encoding only dirty segments and
+                                notifying standing subscriptions
+``POST /subscriptions``         register a standing pattern query
+``GET /subscriptions``          list active subscriptions + delivery stats
+``GET /subscriptions/<id>/events``  drain pending events (``?max=N``)
+``DELETE /subscriptions/<id>``  drop a standing query
+``POST /snapshot``              persist the index (full base or O(delta)
+                                append)
+``GET /healthz``                liveness (503 while draining)
+``GET /metrics``                per-endpoint latency/status counters + the
+                                per-strategy stats the service already
+                                tracks (JSON; ``?format=prometheus`` renders
+                                the same registry in the Prometheus text
+                                exposition)
+==============================  =============================================
 
 Observability (see :mod:`repro.obs`): every endpoint's counters live in a
 per-server :class:`repro.obs.metrics.MetricsRegistry`; with
@@ -79,7 +88,9 @@ from .protocol import (
     ProtocolError,
     parse_query_debug,
     parse_query_payload,
+    parse_rows_payload,
     parse_snapshot_payload,
+    parse_subscribe_payload,
     parse_tables_payload,
     query_result_to_dict,
 )
@@ -491,6 +502,112 @@ class ChartSearchServer:
             ids = sorted(self.service.table_ids)
         return 200, {"num_tables": len(ids), "table_ids": ids}
 
+    # -- streaming ingest + subscriptions ------------------------------ #
+    def handle_append_rows(
+        self, table_id: str, read_body: Callable[[], object]
+    ) -> Tuple[int, Dict]:
+        """Serve one ``POST /tables/{id}/rows`` (streaming ingest).
+
+        With server tracing on, the whole batch — payload parse, segment
+        re-encode, subscription notification — runs under one
+        ``http_append_rows`` trace (the service's ``append_rows`` /
+        ``notify`` / per-``subscription`` spans attach to it), mirroring
+        the traced ``POST /query`` path.
+        """
+        if not table_id:
+            raise ProtocolError("missing table id in path", status=404)
+        if self.config.tracing:
+            with start_trace("http_append_rows", table_id=table_id) as root:
+                with span("render"):
+                    columns, roles = parse_rows_payload(read_body())
+                status, body = self._append_service(table_id, columns, roles)
+            tree = root.to_dict()
+            self.last_trace = tree
+            maybe_log_slow_query(tree)
+            return status, body
+        columns, roles = parse_rows_payload(read_body())
+        return self._append_service(table_id, columns, roles)
+
+    def _append_service(
+        self, table_id: str, columns: Dict, roles: Dict[str, str]
+    ) -> Tuple[int, Dict]:
+        with self._service_lock:
+            try:
+                result = self.service.append_rows(
+                    table_id, columns, roles=roles or None
+                )
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from exc
+        return 200, {
+            "table_id": result.table_id,
+            "rows_appended": int(result.rows_appended),
+            "total_rows": int(result.total_rows),
+            "segments_total": int(result.segments_total),
+            "dirty_segments": list(result.dirty_segments),
+            "reencode_fraction": float(result.reencode_fraction),
+            "created": bool(result.created),
+            "events_fired": int(result.events_fired),
+        }
+
+    def handle_subscribe(self, payload: object) -> Tuple[int, Dict]:
+        spec = self.service.model.config.chart_spec
+        chart, k, threshold = parse_subscribe_payload(payload, spec)
+        with self._service_lock:
+            subscription_id = self.service.subscribe(
+                chart, k=k, threshold=threshold
+            )
+        return 200, {
+            "subscription_id": subscription_id,
+            "k": k,
+            "threshold": threshold,
+        }
+
+    def handle_list_subscriptions(self) -> Tuple[int, Dict]:
+        with self._service_lock:
+            engine = self.service.subscriptions
+            entries = [
+                {
+                    "subscription_id": subscription_id,
+                    "k": engine.get(subscription_id).k,
+                    "threshold": engine.get(subscription_id).threshold,
+                    "pending": len(engine.get(subscription_id).events),
+                    "stats": engine.get(subscription_id).stats.to_dict(),
+                }
+                for subscription_id in engine.active
+            ]
+        return 200, {"subscriptions": entries}
+
+    def handle_poll_subscription(
+        self, subscription_id: str, max_events: Optional[int]
+    ) -> Tuple[int, Dict]:
+        with self._service_lock:
+            try:
+                subscription = self.service.subscriptions.get(subscription_id)
+                events = self.service.poll(
+                    subscription_id, max_events=max_events
+                )
+            except KeyError:
+                raise ProtocolError(
+                    f"unknown subscription {subscription_id!r}", status=404
+                ) from None
+            pending = len(subscription.events)
+            stats = subscription.stats.to_dict()
+        return 200, {
+            "subscription_id": subscription_id,
+            "events": [event.to_dict() for event in events],
+            "pending": pending,
+            "stats": stats,
+        }
+
+    def handle_unsubscribe(self, subscription_id: str) -> Tuple[int, Dict]:
+        with self._service_lock:
+            removed = self.service.unsubscribe(subscription_id)
+        if not removed:
+            raise ProtocolError(
+                f"unknown subscription {subscription_id!r}", status=404
+            )
+        return 200, {"removed": subscription_id}
+
     def handle_snapshot(self, payload: object) -> Tuple[int, Dict]:
         path, append = parse_snapshot_payload(
             payload, self.config.snapshot_path
@@ -561,6 +678,23 @@ class ChartSearchServer:
             "service_worker_fallbacks_total",
             "Queries that fell back to in-process verification.",
         ).set_total(service_stats.worker_fallbacks)
+        registry.counter(
+            "service_rows_appended_total", "Rows ingested via append_rows."
+        ).set_total(service_stats.rows_appended)
+        registry.counter(
+            "service_append_batches_total", "Ingest batches processed."
+        ).set_total(service_stats.append_batches)
+        registry.counter(
+            "service_segments_encoded_total",
+            "Window segments (re-)encoded by streaming ingest.",
+        ).set_total(service_stats.segments_encoded)
+        registry.counter(
+            "service_subscription_events_total",
+            "Subscription events fired by ingest batches.",
+        ).set_total(service_stats.subscription_events)
+        registry.gauge(
+            "service_subscriptions_active", "Standing subscriptions registered."
+        ).set(float(len(self.service.subscriptions)))
         fallback_active = registry.gauge(
             "service_worker_fallback_active",
             "1 while the worker pool is sticky-disabled, by cause.",
@@ -600,6 +734,11 @@ class ChartSearchServer:
                 "worker_fallbacks": service_stats.worker_fallbacks,
                 "worker_fallback_reason": self.service.worker_fallback_reason,
                 "worker_fallback_kind": service_stats.worker_fallback_kind,
+                "rows_appended": service_stats.rows_appended,
+                "append_batches": service_stats.append_batches,
+                "segments_encoded": service_stats.segments_encoded,
+                "subscription_events": service_stats.subscription_events,
+                "subscriptions_active": len(self.service.subscriptions),
             },
         }
         return 200, body
@@ -710,6 +849,59 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 lambda: owner.handle_add_tables(self._read_json_body()),
                 True,
             )
+        if (
+            method == "POST"
+            and path.startswith("/tables/")
+            and path.endswith("/rows")
+        ):
+            table_id = path[len("/tables/") : -len("/rows")]
+            return (
+                "POST /tables/<id>/rows",
+                lambda: owner.handle_append_rows(table_id, self._read_json_body),
+                True,
+            )
+        if path == "/subscriptions":
+            if method == "POST":
+                return (
+                    "POST /subscriptions",
+                    lambda: owner.handle_subscribe(self._read_json_body()),
+                    True,
+                )
+            if method == "GET":
+                return (
+                    "GET /subscriptions",
+                    owner.handle_list_subscriptions,
+                    True,
+                )
+        if path.startswith("/subscriptions/"):
+            rest = path[len("/subscriptions/") :]
+            if method == "GET" and rest.endswith("/events"):
+                subscription_id = rest[: -len("/events")]
+                query_string = self.path.partition("?")[2]
+                raw_max = parse_qs(query_string).get("max", [None])[0]
+                max_events: Optional[int] = None
+                if raw_max is not None:
+                    try:
+                        max_events = int(raw_max)
+                    except ValueError:
+                        raise ProtocolError(
+                            f"max must be an integer, got {raw_max!r}"
+                        ) from None
+                    if max_events < 1:
+                        raise ProtocolError(f"max must be >= 1, got {max_events}")
+                return (
+                    "GET /subscriptions/<id>/events",
+                    lambda: owner.handle_poll_subscription(
+                        subscription_id, max_events
+                    ),
+                    True,
+                )
+            if method == "DELETE" and "/" not in rest:
+                return (
+                    "DELETE /subscriptions/<id>",
+                    lambda: owner.handle_unsubscribe(rest),
+                    True,
+                )
         if method == "POST" and path == "/snapshot":
             return (
                 "POST /snapshot",
@@ -727,8 +919,19 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 lambda: owner.handle_remove_table(table_id),
                 True,
             )
-        known_paths = {"/healthz", "/metrics", "/tables", "/query", "/snapshot"}
-        if path in known_paths or path.startswith("/tables/"):
+        known_paths = {
+            "/healthz",
+            "/metrics",
+            "/tables",
+            "/query",
+            "/snapshot",
+            "/subscriptions",
+        }
+        if (
+            path in known_paths
+            or path.startswith("/tables/")
+            or path.startswith("/subscriptions/")
+        ):
             raise ProtocolError(
                 f"method {method} not allowed on {path}", status=405
             )

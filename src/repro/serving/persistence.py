@@ -449,6 +449,43 @@ def _lsh_payload(processor: HybridQueryProcessor) -> dict:
     }
 
 
+def _streams_payload(processor: HybridQueryProcessor) -> dict:
+    """JSON-friendly streaming registry: parent -> segments + append state.
+
+    A streaming table persists as its window-segment encodings (they are the
+    real index entries); this payload carries the bookkeeping needed to
+    recompose parents and continue appending after a restore — the ordered
+    segment family, the window size, the row count and the rows of the
+    unsealed tail window.  Written into every base *and* every append-only
+    segment (full registry, last writer wins on replay), so a segment delta
+    alone is enough to move the restored stream state forward.
+    """
+    payload: dict = {}
+    for parent, segment_ids in getattr(processor, "streams", {}).items():
+        state = processor.stream_states.get(parent) or {}
+        payload[parent] = {
+            "segments": list(segment_ids),
+            "segment_rows": int(state.get("segment_rows", 0)),
+            "total_rows": int(state.get("total_rows", 0)),
+            "column_names": list(state.get("column_names", [])),
+            "roles": {
+                name: str(role)
+                for name, role in (state.get("roles") or {}).items()
+            },
+            "tail": {
+                name: [float(value) for value in np.asarray(values).ravel()]
+                for name, values in (state.get("tail") or {}).items()
+            },
+        }
+    return payload
+
+
+def _persisted_ids(processor: HybridQueryProcessor) -> List[str]:
+    """The ids whose encodings a snapshot carries (segments, not parents)."""
+    ids = getattr(processor, "persisted_table_ids", None)
+    return list(ids) if ids is not None else list(processor.table_ids)
+
+
 def _live_state(processor: HybridQueryProcessor, table_id: str) -> _TableState:
     encoded = processor.scorer.encoded_table(table_id)
     lsh = processor.lsh
@@ -784,9 +821,14 @@ def _merged_snapshot(
                 ) from None
             tables[entry["table_id"]] = _entry_state(entry, representations)
         intervals = [list(iv) for iv in base_meta["intervals"]]
+    streams_meta = base_meta.get("streams") or {}
     for segment in snapshot_segments(base):
         meta, arrays = _read_archive(segment)
         _check_segment(meta, base_meta, segment)
+        if "streams" in meta:
+            # Segments carry the *full* streaming registry at write time;
+            # the newest copy wins (pre-streaming segments leave it alone).
+            streams_meta = meta["streams"] or {}
         dropped = set(meta.get("tombstones", ()))
         dropped.update(entry["table_id"] for entry in meta["tables"])
         if dropped:
@@ -805,6 +847,8 @@ def _merged_snapshot(
                 ) from None
             tables[entry["table_id"]] = _entry_state(entry, representations)
         intervals.extend(list(iv) for iv in meta["intervals"])
+    base_meta = dict(base_meta)
+    base_meta["streams"] = streams_meta
     return base, base_meta, tables, intervals
 
 
@@ -832,6 +876,7 @@ def _write_v1_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
         "lsh": header["lsh"],
         "tables": entries,
         "intervals": header["intervals"],
+        "streams": header.get("streams") or {},
     }
     written = _write_archive(base, meta, arrays)
     _cleanup_sidecars(written)  # a v1 base references no sidecars at all
@@ -957,6 +1002,7 @@ def _write_v2_base(base: Path, header: dict, states: Sequence[_TableState]) -> P
         "lsh": header["lsh"],
         "num_tables": len(states),
         "sidecars": sidecars,
+        "streams": header.get("streams") or {},
     }
     # Sidecars land complete (atomic per-file) under a fresh generation
     # *before* the base archive is replaced; the base rename is the commit
@@ -1009,12 +1055,15 @@ def save_processor(
             )
         return _append_segment(processor, path)
     version = _resolve_layout(layout)
-    states = [_live_state(processor, table_id) for table_id in processor.table_ids]
+    states = [
+        _live_state(processor, table_id) for table_id in _persisted_ids(processor)
+    ]
     header = {
         "embed_dim": processor.scorer.config.embed_dim,
         "dtype": processor.scorer.config.numeric_dtype.name,
         "lsh": _lsh_payload(processor),
         "intervals": _interval_payload(processor.interval_tree.intervals),
+        "streams": _streams_payload(processor),
     }
     # Retire a previous lineage's segments *before* replacing the base:
     # deleting newest-first keeps every intermediate crash state a
@@ -1070,7 +1119,7 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
     for segment, meta in zip(segments, segment_metas):
         _check_segment(meta, base_meta, segment)
     covered = _replay_tables(base, base_meta, segment_metas)
-    current = processor.table_ids
+    current = _persisted_ids(processor)
     current_set = set(current)
     # Content-aware delta: an id present on both sides whose recorded
     # fingerprint no longer matches the live encoding (removed + re-added
@@ -1115,6 +1164,10 @@ def _append_segment(processor: HybridQueryProcessor, path: PathLike) -> Path:
         "intervals": _interval_payload(
             processor.interval_tree.intervals_for_tables(new_ids)
         ),
+        # Full streaming registry, not a delta: replay takes the newest
+        # segment's copy, so a restored stream resumes from the latest
+        # row-count/tail state this lineage recorded.
+        "streams": _streams_payload(processor),
     }
     segment_path = base.parent / (
         base.stem + _SEGMENT_SUFFIX.format(number=next_number)
@@ -1163,6 +1216,7 @@ def compact_snapshot(path: PathLike, layout: Union[str, int, None] = None) -> Pa
         "dtype": base_meta.get("dtype", "float64"),
         "lsh": base_meta["lsh"],
         "intervals": intervals,
+        "streams": base_meta.get("streams") or {},
     }
     writer = (
         _write_v2_base if target_version == SNAPSHOT_VERSION_V2 else _write_v1_base
@@ -1278,19 +1332,46 @@ def load_processor(
     lsh = RandomHyperplaneLSH(
         model.config.embed_dim, config=lsh_config, dtype=model.config.numeric_dtype
     )
+    streams_meta = meta.get("streams") or {}
+    segment_ids = {
+        seg_id for entry in streams_meta.values() for seg_id in entry["segments"]
+    }
     for encoded, state in zip(_states_to_encoded(tables), tables.values()):
         scorer.add_encoded(encoded)
         lsh.add_codes(encoded.table_id, state.codes)
-        processor.register_table(encoded.table_id)
+        if encoded.table_id not in segment_ids:
+            processor.register_table(encoded.table_id)
     processor.lsh = lsh
     processor.interval_tree = IntervalTree(
         Interval(low=low, high=high, table_id=table_id, column_name=column_name)
         for low, high, table_id, column_name in interval_rows
     )
+    for parent, entry in streams_meta.items():
+        missing = [s for s in entry["segments"] if s not in tables]
+        if missing:
+            raise SnapshotError(
+                f"snapshot {base.name} is corrupt: stream {parent!r} references "
+                f"unrecorded segments {missing}"
+            )
+        processor.register_stream(
+            parent,
+            entry["segments"],
+            {
+                "segment_rows": int(entry["segment_rows"]),
+                "total_rows": int(entry["total_rows"]),
+                "column_names": list(entry["column_names"]),
+                "roles": dict(entry.get("roles") or {}),
+                "tail": {
+                    name: np.asarray(values, dtype=np.float64)
+                    for name, values in (entry.get("tail") or {}).items()
+                },
+            },
+        )
     _log.info(
         "snapshot_loaded",
         path=str(base),
         tables=len(tables),
+        streams=len(streams_meta),
         mmap=mmap,
         dtype=snapshot_dtype,
     )

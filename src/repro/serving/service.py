@@ -44,7 +44,14 @@ from ..index.hybrid import (
     QueryResult,
 )
 from ..index.lsh import LSHConfig
-from ..obs import current_span, get_logger, maybe_log_slow_query, span, start_trace
+from ..obs import (
+    current_span,
+    get_logger,
+    get_registry,
+    maybe_log_slow_query,
+    span,
+    start_trace,
+)
 from ..vision.extractor import VisualElementExtractor
 from .persistence import (
     SNAPSHOT_VERSION_V2,
@@ -55,6 +62,13 @@ from .persistence import (
     snapshot_layout,
 )
 from .sharding import ShardBuildReport, encode_tables_sharded
+from .streaming import (
+    AppendResult,
+    StreamingConfig,
+    SubscriptionEngine,
+    SubscriptionEvent,
+    append_stream_rows,
+)
 from .workers import QueryWorkerPool, split_shards
 
 _log = get_logger("repro.serving.service")
@@ -153,6 +167,12 @@ class ServingConfig:
         top-``k`` recall toward 1.0 at higher verification cost;
         ``8`` (default) holds recall ≥ 0.99 on the trained benchmark
         fixture.  Only meaningful with ``quantized_prefilter=True``.
+    streaming:
+        Knobs of the streaming ingest + subscription path
+        (:class:`repro.serving.streaming.StreamingConfig`): window size of
+        the segment decomposition, per-subscription event queue bound and
+        the coarse-pass overscan used when notifying on ingest.  ``None``
+        uses the defaults.
     """
 
     lsh_config: Optional[LSHConfig] = None
@@ -168,6 +188,7 @@ class ServingConfig:
     fused: bool = True
     quantized_prefilter: bool = False
     prefilter_overscan: int = 8
+    streaming: Optional[StreamingConfig] = None
 
     def __post_init__(self) -> None:
         if self.result_cache_size < 0:
@@ -230,6 +251,14 @@ class ServiceStats:
     #: (or the ``/metrics`` payload) can tell a drained service from a
     #: broken one at a glance.
     worker_fallback_kind: Optional[str] = None
+    #: Rows ingested through :meth:`SearchService.append_rows`.
+    rows_appended: int = 0
+    #: Ingest batches processed.
+    append_batches: int = 0
+    #: Window segments (re-)encoded across all ingest batches.
+    segments_encoded: int = 0
+    #: Subscription events fired across all ingest batches.
+    subscription_events: int = 0
 
     def summary(self) -> Dict[str, Dict[str, float]]:
         """A plain-dict snapshot (JSON-friendly, used by the benchmarks)."""
@@ -268,6 +297,11 @@ class SearchService:
             self.scorer, lsh_config=self.config.lsh_config
         )
         self.stats = ServiceStats()
+        self.streaming = self.config.streaming or StreamingConfig()
+        # Standing pattern queries, evaluated against each ingest batch's
+        # dirty segments (see repro.serving.streaming).  In-memory serving
+        # state: not persisted in snapshots.
+        self._subscriptions = SubscriptionEngine(self.scorer, self.streaming)
         self.last_shard_report: Optional[ShardBuildReport] = None
         # Process-level query verification (config.query_workers >= 2): the
         # pool is created lazily on the first query, kept in sync with index
@@ -376,6 +410,132 @@ class SearchService:
             self._invalidate()
             _log.info("tables_removed", count=removed, total=self.num_tables)
         return removed
+
+    # ------------------------------------------------------------------ #
+    # Streaming ingest + subscriptions (repro.serving.streaming)
+    # ------------------------------------------------------------------ #
+    @property
+    def subscriptions(self) -> SubscriptionEngine:
+        """The standing-query engine (see :meth:`subscribe` / :meth:`poll`)."""
+        return self._subscriptions
+
+    def append_rows(
+        self,
+        table_id: str,
+        rows: Dict[str, Sequence[float]],
+        roles: Optional[Dict[str, str]] = None,
+    ) -> AppendResult:
+        """Append rows to a streaming table, re-encoding only dirty windows.
+
+        The first append for an unknown ``table_id`` creates the stream
+        (window size fixed from ``ServingConfig.streaming.segment_rows``);
+        later appends must carry the same columns.  Only the window segments
+        the batch touches are re-encoded — sealed windows keep their cached
+        encodings, interval entries and LSH codes — and the post-append
+        state is provably identical to replaying the full row history in one
+        batch (``tests/test_streaming.py``).  After the index update, every
+        standing subscription is notified against the dirty segments only
+        (coarse int8 pass first on large batches) and the result cache is
+        invalidated.
+
+        Under ``ServingConfig(tracing=True)`` a trace root is minted per
+        ingest batch when no ambient trace is active, mirroring
+        :meth:`query`; the tree lands on :attr:`last_trace`.
+        """
+        if self.config.tracing and current_span() is None:
+            with start_trace("append_rows", table_id=table_id) as root:
+                result = self._append_impl(table_id, rows, roles)
+            self.last_trace = root.to_dict()
+            maybe_log_slow_query(self.last_trace)
+            return result
+        return self._append_impl(table_id, rows, roles)
+
+    def _append_impl(
+        self,
+        table_id: str,
+        rows: Dict[str, Sequence[float]],
+        roles: Optional[Dict[str, str]],
+    ) -> AppendResult:
+        with span("append_rows", table_id=table_id) as sp:
+            result = append_stream_rows(
+                self.processor,
+                table_id,
+                rows,
+                segment_rows=self.streaming.segment_rows,
+                roles=roles,
+            )
+            if sp is not None:
+                sp.attributes["rows"] = result.rows_appended
+                sp.attributes["dirty_segments"] = len(result.dirty_segments)
+                sp.attributes["segments_total"] = result.segments_total
+                sp.attributes["created"] = result.created
+        self.stats.rows_appended += result.rows_appended
+        self.stats.append_batches += 1
+        self.stats.segments_encoded += len(result.dirty_segments)
+        if result.created:
+            self.stats.tables_added += 1
+        # Workers hold the composed parent entry under the parent id: the
+        # mutation-after-map dirty-id protocol re-ships it on the next sync
+        # (and forces preloaded mmap segment state to refresh).
+        self._pool_removed_ids.add(table_id)
+        self._mmap_dirty_ids.add(table_id)
+        self._invalidate()
+        registry = get_registry()
+        registry.counter(
+            "repro_ingest_rows_total", "Rows ingested via append_rows"
+        ).inc(result.rows_appended)
+        registry.counter(
+            "repro_ingest_batches_total", "Ingest batches processed"
+        ).inc()
+        registry.histogram(
+            "repro_ingest_reencode_fraction",
+            "Fraction of a stream's segments re-encoded per ingest batch",
+        ).observe(result.reencode_fraction)
+        with span("notify", subscriptions=len(self._subscriptions)):
+            result.events_fired = self._subscriptions.notify(
+                {table_id: result.dirty_segments},
+                {table_id: result.total_rows},
+            )
+        self.stats.subscription_events += result.events_fired
+        _log.info(
+            "rows_appended",
+            table_id=table_id,
+            rows=result.rows_appended,
+            total_rows=result.total_rows,
+            dirty_segments=len(result.dirty_segments),
+            segments_total=result.segments_total,
+            events=result.events_fired,
+        )
+        return result
+
+    def subscribe(
+        self,
+        chart: LineChart,
+        k: int = 1,
+        threshold: float = 0.0,
+        callback=None,
+    ) -> str:
+        """Register a standing pattern query; returns its subscription id.
+
+        On every subsequent ingest batch the subscription scores that
+        batch's dirty segments (coarse pass first when many are dirty) and
+        fires up to ``k`` events with exact score ``>= threshold`` into its
+        queue (drained by :meth:`poll`) and the optional ``callback``.
+        Subscriptions are in-memory: re-subscribe after a snapshot restore.
+        """
+        return self._subscriptions.subscribe(
+            chart, k=k, threshold=threshold, callback=callback
+        )
+
+    def unsubscribe(self, subscription_id: str) -> bool:
+        """Drop a standing query; returns whether it existed."""
+        return self._subscriptions.unsubscribe(subscription_id)
+
+    def poll(
+        self, subscription_id: str, max_events: Optional[int] = None
+    ) -> List[SubscriptionEvent]:
+        """Drain (up to ``max_events``) pending events of one subscription."""
+        return self._subscriptions.poll(subscription_id, max_events=max_events)
 
     # ------------------------------------------------------------------ #
     # Process-level query verification (QueryWorkerPool)

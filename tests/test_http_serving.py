@@ -893,3 +893,178 @@ def _request_text(server, path):
         )
     finally:
         conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Streaming ingest + subscriptions over the wire
+# --------------------------------------------------------------------------- #
+def _rows_payload(start, size, seed=0, y_name="y"):
+    import numpy as np
+
+    rng = np.random.default_rng(seed + start)
+    walk = np.cumsum(rng.normal(0.0, 1.0, size))
+    columns = [
+        {"name": "x", "values": [float(v) for v in range(start, start + size)]},
+        {"name": y_name, "values": [float(v) for v in walk]},
+    ]
+    if start == 0:
+        columns[0]["role"] = "x"
+    return {"columns": columns}
+
+
+class TestStreamingEndpoints:
+    @pytest.fixture(scope="class")
+    def stream_server(self, tiny_fcm_config, small_records):
+        from repro.serving import StreamingConfig
+
+        service = SearchService(
+            FCMModel(tiny_fcm_config),
+            ServingConfig(
+                lsh_config=LSHConfig(num_bits=6, hamming_radius=1),
+                streaming=StreamingConfig(segment_rows=32),
+                tracing=True,
+            ),
+        )
+        service.build([record.table for record in small_records[:4]])
+        server = ChartSearchServer(
+            service, HTTPServingConfig(port=0, tracing=True, close_service=False)
+        ).start()
+        yield server
+        server.close()
+
+    def test_append_subscribe_poll_round_trip(self, stream_server, query_cases):
+        payload, _ = query_cases[0]
+        status, body, _ = _post(
+            stream_server,
+            "/subscriptions",
+            {"chart": payload, "k": 2, "threshold": 0.0},
+        )
+        assert status == 200
+        subscription_id = body["subscription_id"]
+        assert body["k"] == 2 and body["threshold"] == 0.0
+
+        status, body, _ = _post(
+            stream_server, "/tables/live-rt/rows", _rows_payload(0, 40)
+        )
+        assert status == 200
+        assert body["created"] is True
+        assert body["table_id"] == "live-rt"
+        assert body["total_rows"] == 40
+        assert body["segments_total"] == 2
+        assert len(body["dirty_segments"]) == 2
+        assert body["events_fired"] >= 1
+
+        status, body, _ = _get(stream_server, "/subscriptions")
+        assert status == 200
+        entry = next(
+            e for e in body["subscriptions"]
+            if e["subscription_id"] == subscription_id
+        )
+        assert entry["pending"] >= 1
+        assert entry["stats"]["events_delivered"] >= 1
+
+        status, body, _ = _get(
+            stream_server, f"/subscriptions/{subscription_id}/events?max=10"
+        )
+        assert status == 200
+        assert body["events"]
+        event = body["events"][0]
+        assert event["table_id"] == "live-rt"
+        assert event["segment_id"].startswith("live-rt::seg-")
+        assert event["seq"] >= 1
+        assert body["pending"] == 0
+        status, body, _ = _get(
+            stream_server, f"/subscriptions/{subscription_id}/events"
+        )
+        assert status == 200 and body["events"] == []
+
+        # A tail append re-encodes a strict subset, visible on the wire.
+        status, body, _ = _post(
+            stream_server, "/tables/live-rt/rows", _rows_payload(40, 10)
+        )
+        assert status == 200
+        assert body["created"] is False
+        assert body["reencode_fraction"] < 1.0
+
+        status, body, _ = _request(
+            stream_server, "DELETE", f"/subscriptions/{subscription_id}"
+        )
+        assert status == 200 and body["removed"] == subscription_id
+        status, _, _ = _get(
+            stream_server, f"/subscriptions/{subscription_id}/events"
+        )
+        assert status == 404
+
+    def test_append_validation_errors(self, stream_server, small_records):
+        static_id = small_records[0].table.table_id
+        status, body, _ = _post(
+            stream_server, f"/tables/{static_id}/rows", _rows_payload(0, 8)
+        )
+        assert status == 400
+        assert "static" in body["error"]
+
+        _post(stream_server, "/tables/live-val/rows", _rows_payload(0, 8))
+        status, body, _ = _post(
+            stream_server,
+            "/tables/live-val/rows",
+            _rows_payload(8, 8, y_name="other"),
+        )
+        assert status == 400  # column set mismatch
+
+        status, body, _ = _post(
+            stream_server,
+            "/tables/live-val/rows",
+            {"columns": [
+                {"name": "x", "values": [8.0]},
+                {"name": "y", "values": [float("nan")]},
+            ]},
+        )
+        assert status == 400
+
+        status, _, _ = _post(stream_server, "/tables//rows", _rows_payload(0, 4))
+        assert status == 404
+        status, _, _ = _get(
+            stream_server, "/subscriptions/sub-999999/events"
+        )
+        assert status == 404
+        status, _, _ = _request(
+            stream_server, "DELETE", "/subscriptions/sub-999999"
+        )
+        assert status == 404
+        status, _, _ = _get(
+            stream_server, "/subscriptions/sub-999999/events?max=0"
+        )
+        assert status == 400
+        status, _, _ = _post(
+            stream_server, "/subscriptions", {"chart": [], "k": 1}
+        )
+        assert status == 400
+
+    def test_metrics_export_streaming_counters(self, stream_server):
+        _post(stream_server, "/tables/live-metrics/rows", _rows_payload(0, 12))
+        status, body, _ = _get(stream_server, "/metrics")
+        assert status == 200
+        service = body["service"]
+        assert service["rows_appended"] >= 12
+        assert service["append_batches"] >= 1
+        assert service["segments_encoded"] >= 1
+        assert "subscription_events" in service
+        assert "subscriptions_active" in service
+
+    def test_append_produces_http_trace_with_subscription_span(
+        self, stream_server, query_cases
+    ):
+        payload, _ = query_cases[1]
+        _post(
+            stream_server,
+            "/subscriptions",
+            {"chart": payload, "k": 1, "threshold": 0.0},
+        )
+        status, _, _ = _post(
+            stream_server, "/tables/live-trace/rows", _rows_payload(0, 20)
+        )
+        assert status == 200
+        tree = stream_server.last_trace
+        assert tree is not None and tree["name"] == "http_append_rows"
+        names = {node["name"] for node in _walk(tree)}
+        assert {"render", "append_rows", "notify", "subscription"} <= names

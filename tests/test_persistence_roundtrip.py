@@ -478,3 +478,159 @@ class TestCorruptionErrors:
         persistence._write_archive(path, meta, arrays)
         with pytest.raises(SnapshotError, match="unsupported snapshot version"):
             load_processor(rt_model, path)
+
+
+# --------------------------------------------------------------------------- #
+# Streaming: segment-granular deltas and the streams registry
+# --------------------------------------------------------------------------- #
+class TestStreamingSnapshots:
+    """Streams persist at *segment* granularity: the persisted ids are the
+    window segments (plus statics), the streams registry in the meta maps
+    parents back to their windows, and an append-only save after a tail
+    ingest carries only the dirty windows — all byte-identical on restore,
+    including the int8 quantized (q8/qscale) copies."""
+
+    WINDOW = 32
+
+    def _stream_service(self, model, tables):
+        from repro.serving import StreamingConfig
+
+        service = SearchService(
+            model,
+            ServingConfig(
+                lsh_config=LSHConfig(num_bits=6, hamming_radius=1),
+                streaming=StreamingConfig(segment_rows=self.WINDOW),
+            ),
+        )
+        service.build(tables)
+        return service
+
+    def _append(self, service, size, start, seed=0):
+        rng = np.random.default_rng(seed + start)
+        rows = {
+            "x": np.arange(start, start + size, dtype=float),
+            "y": np.cumsum(rng.normal(0.0, 1.0, size)),
+        }
+        return service.append_rows(
+            "live", rows, roles={"x": "x"} if start == 0 else None
+        )
+
+    def _stream_state(self, processor):
+        """Persisted bytes: every segment + static, plus the registry.
+
+        The quantized copy is compared through the scoring pack: a v2 load
+        restores it from the q8/qscale sidecars, a v1 load rematerialises
+        it from the (byte-identical) representations — either way the int8
+        codes the pre-filter scores with must match the live service's.
+        """
+        pack = processor.scorer.quantized_pack()
+        tables = {}
+        for table_id in processor.persisted_table_ids:
+            encoded = processor.scorer.encoded_table(table_id)
+            position = pack.index[table_id]
+            tables[table_id] = (
+                np.ascontiguousarray(encoded.representations).tobytes(),
+                np.ascontiguousarray(encoded.column_embeddings).tobytes(),
+                tuple(encoded.column_names),
+                tuple(sorted(int(c) for c in processor.lsh.codes_for(table_id))),
+                np.ascontiguousarray(pack.codes[position]).tobytes(),
+                float(pack.scales[position]),
+            )
+        streams = {}
+        for parent, segments in processor.streams.items():
+            state = processor.stream_states[parent]
+            streams[parent] = (
+                tuple(segments),
+                int(state["total_rows"]),
+                int(state["segment_rows"]),
+                tuple(state["column_names"]),
+                tuple(sorted(state["roles"].items())),
+                tuple(
+                    (name, np.asarray(vals, dtype=np.float64).tobytes())
+                    for name, vals in sorted(state["tail"].items())
+                ),
+            )
+        return tables, streams
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_stream_round_trip_is_byte_identical(self, rt_model, tmp_path, layout):
+        service = self._stream_service(rt_model, _corpus(3))
+        self._append(service, 48, 0)
+        self._append(service, 30, 48)
+        path = save_processor(
+            service.processor, tmp_path / layout / "index.npz", layout=layout
+        )
+        loaded = load_processor(rt_model, path)
+        assert self._stream_state(loaded) == self._stream_state(service.processor)
+        if layout == "v2":
+            mapped = load_processor(rt_model, path, mmap=True)
+            assert self._stream_state(mapped) == self._stream_state(
+                service.processor
+            )
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_append_segment_carries_only_dirty_windows(
+        self, rt_model, tmp_path, layout
+    ):
+        from repro.serving import segment_table_id
+
+        service = self._stream_service(rt_model, _corpus(2))
+        self._append(service, 70, 0)  # windows 0, 1, 2 (tail of 6 rows)
+        path = save_processor(
+            service.processor, tmp_path / layout / "index.npz", layout=layout
+        )
+        self._append(service, 10, 70)  # dirty: window 2 only
+        segment_path = save_processor(service.processor, path, append=True)
+        assert segment_path != path
+        meta = persistence._read_meta(segment_path)
+        delta_ids = [entry["table_id"] for entry in meta["tables"]]
+        assert delta_ids == [segment_table_id("live", 2)]
+        assert meta["tombstones"] == [segment_table_id("live", 2)]
+        assert meta["streams"]["live"]["total_rows"] == 80
+        loaded = load_processor(rt_model, path)
+        assert self._stream_state(loaded) == self._stream_state(service.processor)
+
+    def test_compaction_folds_stream_segments_with_q8_sidecars(
+        self, rt_model, tmp_path
+    ):
+        service = self._stream_service(rt_model, _corpus(2))
+        self._append(service, 70, 0)
+        path = save_processor(
+            service.processor, tmp_path / "index.npz", layout="v2"
+        )
+        self._append(service, 26, 70)
+        save_processor(service.processor, path, append=True)
+        assert compact_snapshot(path) == path
+        assert snapshot_segments(path) == []
+        sidecars = sorted(p.name for p in path.parent.glob("*.npy"))
+        assert any(".q8." in name for name in sidecars)
+        assert any(".qscale." in name for name in sidecars)
+        mapped = load_processor(rt_model, path, mmap=True)
+        assert self._stream_state(mapped) == self._stream_state(service.processor)
+
+    def test_restored_stream_resumes_appending(self, rt_model, tmp_path):
+        service = self._stream_service(rt_model, _corpus(2))
+        self._append(service, 48, 0)
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        loaded_service = SearchService.load_index(
+            rt_model,
+            path,
+            ServingConfig(lsh_config=LSHConfig(num_bits=6, hamming_radius=1)),
+        )
+        ours = self._append(service, 20, 48)
+        theirs = self._append(loaded_service, 20, 48)
+        assert theirs.total_rows == ours.total_rows == 68
+        assert theirs.dirty_segments == ours.dirty_segments
+        assert self._stream_state(loaded_service.processor) == self._stream_state(
+            service.processor
+        )
+
+    def test_missing_stream_segment_is_structured_error(self, rt_model, tmp_path):
+        service = self._stream_service(rt_model, _corpus(1))
+        self._append(service, 40, 0)
+        path = save_processor(service.processor, tmp_path / "index.npz")
+        meta, arrays = persistence._read_archive(path)
+        meta["streams"]["live"]["segments"].append("live::seg-000099")
+        persistence._write_archive(path, meta, arrays)
+        with pytest.raises(SnapshotError, match="seg-000099"):
+            load_processor(rt_model, path)
